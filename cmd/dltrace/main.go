@@ -1,0 +1,115 @@
+// Command dltrace exports a built-in benchmark as a text warp-instruction
+// trace, or replays a trace file through the simulator under any scheduler.
+//
+// Usage:
+//
+//	dltrace -export spmv -scale 0.2 -o spmv.trace
+//	dltrace -run spmv.trace -sched wg-w
+//
+// The trace format is documented in internal/trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dramlat"
+	"dramlat/internal/gpu"
+	"dramlat/internal/trace"
+	"dramlat/internal/workload"
+)
+
+func main() {
+	export := flag.String("export", "", "benchmark to export as a trace")
+	runFile := flag.String("run", "", "trace file to replay")
+	out := flag.String("o", "", "output file for -export (default stdout)")
+	sched := flag.String("sched", "gmc", "scheduler for -run")
+	scale := flag.Float64("scale", 1.0, "work scale for -export")
+	sms := flag.Int("sms", 0, "machine SMs (0 = Table II: 30)")
+	warps := flag.Int("warps", 0, "warps per SM (0 = Table II: 32)")
+	seed := flag.Int64("seed", 1, "workload seed for -export")
+	flag.Parse()
+
+	switch {
+	case *export != "" && *runFile != "":
+		fail("use either -export or -run, not both")
+	case *export != "":
+		doExport(*export, *out, *scale, *sms, *warps, *seed)
+	case *runFile != "":
+		doRun(*runFile, *sched, *sms, *warps)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "dltrace:", msg)
+	os.Exit(1)
+}
+
+func machine(sms, warps int) (int, int) {
+	cfg := gpu.DefaultConfig()
+	if sms > 0 {
+		cfg.NumSMs = sms
+	}
+	if warps > 0 {
+		cfg.WarpsPerSM = warps
+	}
+	return cfg.NumSMs, cfg.WarpsPerSM
+}
+
+func doExport(bench, out string, scale float64, sms, warps int, seed int64) {
+	b, err := workload.ByName(bench)
+	if err != nil {
+		fail(err.Error())
+	}
+	p := workload.DefaultParams()
+	p.NumSMs, p.WarpsPerSM = machine(sms, warps)
+	p.Scale = scale
+	p.Seed = seed
+	wl := b.Build(p)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, wl); err != nil {
+		fail(err.Error())
+	}
+}
+
+func doRun(file, sched string, sms, warps int) {
+	f, err := os.Open(file)
+	if err != nil {
+		fail(err.Error())
+	}
+	defer f.Close()
+	numSMs, warpsPerSM := machine(sms, warps)
+	wl, err := trace.Read(f, file, numSMs, warpsPerSM)
+	if err != nil {
+		fail(err.Error())
+	}
+	cfg := dramlat.Config(dramlat.RunSpec{Scheduler: sched, SMs: numSMs, WarpsPerSM: warpsPerSM})
+	sys, err := gpu.NewSystem(cfg, wl)
+	if err != nil {
+		fail(err.Error())
+	}
+	res := sys.Run()
+	if !res.Drained {
+		fail("simulation hit MaxTicks before completing")
+	}
+	fmt.Printf("trace                %s\n", file)
+	fmt.Printf("scheduler            %s\n", sched)
+	fmt.Printf("kernel ticks         %d (%.1f us)\n", res.Ticks, float64(res.Ticks)*0.667e-3)
+	fmt.Printf("IPC                  %.3f\n", res.IPC)
+	fmt.Printf("DRAM utilization     %.1f%%\n", res.Utilization*100)
+	fmt.Printf("row hit rate         %.1f%%\n", res.RowHitRate*100)
+	fmt.Printf("effective latency    %.0f ticks\n", res.Summary.EffectiveLatency)
+	fmt.Printf("divergence gap       %.0f ticks\n", res.Summary.DivergenceGap)
+}

@@ -1,0 +1,26 @@
+// Command merbtab prints Table I of the paper — the Minimum Efficient Row
+// Burst values — computed from the GDDR5 timing model, plus the
+// single-bank utilization curve of Section IV-D.
+package main
+
+import (
+	"fmt"
+
+	"dramlat"
+)
+
+func main() {
+	t := dramlat.Timing()
+	fmt.Println("Table I: MERB values for GDDR5 (banks with pending work -> bursts)")
+	fmt.Printf("%-8s %s\n", "Banks", "MERB")
+	tab := dramlat.MERBTable(16)
+	for b := 1; b <= 5; b++ {
+		fmt.Printf("%-8d %d\n", b, tab[b-1])
+	}
+	fmt.Printf("%-8s %d\n", "6-16", tab[5])
+	fmt.Println()
+	fmt.Println("Single-bank utilization (Section IV-D): util = 1.33n/(1.33n+25.33)")
+	for _, n := range []int{2, 4, 8, 16, 31} {
+		fmt.Printf("n=%-4d util=%.1f%%\n", n, t.SingleBankUtilization(n)*100)
+	}
+}

@@ -1,0 +1,182 @@
+// Package dramlat is the public façade of the warp-aware DRAM scheduling
+// simulator: a reproduction of "Managing DRAM Latency Divergence in
+// Irregular GPGPU Applications" (Chatterjee et al., SC 2014).
+//
+// The package wires together the cycle-level GPU model (internal/gpu), the
+// benchmark generators (internal/workload) and the scheduler implementations
+// (internal/memctrl for the baselines, internal/core for the paper's
+// warp-aware WG / WG-M / WG-Bw / WG-W policies), and exposes one-call runs:
+//
+//	res, err := dramlat.Run(dramlat.RunSpec{Benchmark: "bfs", Scheduler: "wg-w"})
+//	fmt.Println(res.IPC)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package dramlat
+
+import (
+	"fmt"
+
+	"dramlat/internal/gddr5"
+	"dramlat/internal/gpu"
+	"dramlat/internal/power"
+	"dramlat/internal/workload"
+)
+
+// RunSpec selects one simulation run.
+type RunSpec struct {
+	// Benchmark names a Table III workload (see Benchmarks).
+	Benchmark string
+	// Scheduler is one of Schedulers(): fcfs, wafcfs, frfcfs, gmc,
+	// sbwas, wg, wg-m, wg-bw, wg-w.
+	Scheduler string
+	// Scale multiplies the per-warp work; 0 means 1.0 (full size).
+	Scale float64
+	// SMs/WarpsPerSM override the Table II machine when non-zero
+	// (useful for quick runs and tests).
+	SMs        int
+	WarpsPerSM int
+	// Seed defaults to 1.
+	Seed int64
+
+	// Ideal models of Fig 4.
+	PerfectCoalescing bool
+	ZeroDivergence    bool
+
+	// SBWASAlpha sets the profiled bias for the sbwas comparator
+	// (0 means 0.5; the paper profiles {0.25, 0.5, 0.75} per app).
+	SBWASAlpha float64
+
+	// Ablation disables one warp-aware design choice: "count-score",
+	// "no-orphan" or "no-credits" (see gpu.Config.Ablation).
+	Ablation string
+
+	// WarpSched selects the SM warp scheduler: "" / "gto" or "lrr".
+	WarpSched string
+
+	// ReadQ / CmdQueueCap override the controller read-queue depth and
+	// per-bank command-queue depth when non-zero (sensitivity sweeps:
+	// the warp-aware gain grows with queue depth, since a deeper queue
+	// gives the scheduler more reordering freedom).
+	ReadQ       int
+	CmdQueueCap int
+}
+
+// Results is the run digest (re-exported from internal/gpu).
+type Results = gpu.Results
+
+// Schedulers lists the supported policies in evaluation order.
+func Schedulers() []string { return gpu.Schedulers() }
+
+// WarpAwareSchedulers lists the paper's four cumulative policies.
+func WarpAwareSchedulers() []string { return []string{"wg", "wg-m", "wg-bw", "wg-w"} }
+
+// BenchmarkInfo describes one workload.
+type BenchmarkInfo struct {
+	Name      string
+	Suite     string
+	Irregular bool
+	Desc      string
+}
+
+// Benchmarks lists every available workload (Table III irregular suite
+// plus the Section VI-A regular suite).
+func Benchmarks() []BenchmarkInfo {
+	var out []BenchmarkInfo
+	for _, b := range workload.All() {
+		out = append(out, BenchmarkInfo{b.Name, b.Suite, b.Irregular, b.Desc})
+	}
+	return out
+}
+
+// IrregularNames returns the Table III irregular benchmark names.
+func IrregularNames() []string {
+	var out []string
+	for _, b := range workload.Irregular() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// RegularNames returns the Section VI-A regular benchmark names.
+func RegularNames() []string {
+	var out []string
+	for _, b := range workload.Regular() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// Config builds the gpu.Config for a spec (exposed for tools that need to
+// tweak further).
+func Config(spec RunSpec) gpu.Config {
+	cfg := gpu.DefaultConfig()
+	if spec.SMs > 0 {
+		cfg.NumSMs = spec.SMs
+	}
+	if spec.WarpsPerSM > 0 {
+		cfg.WarpsPerSM = spec.WarpsPerSM
+	}
+	if spec.Scheduler != "" {
+		cfg.Scheduler = spec.Scheduler
+	}
+	if spec.SBWASAlpha > 0 {
+		cfg.SBWASAlpha = spec.SBWASAlpha
+	}
+	cfg.PerfectCoalescing = spec.PerfectCoalescing
+	cfg.ZeroDivergence = spec.ZeroDivergence
+	cfg.Ablation = spec.Ablation
+	cfg.WarpSched = spec.WarpSched
+	if spec.ReadQ > 0 {
+		cfg.ReadQ = spec.ReadQ
+	}
+	if spec.CmdQueueCap > 0 {
+		cfg.CmdQueueCap = spec.CmdQueueCap
+	}
+	return cfg
+}
+
+// Run executes one simulation.
+func Run(spec RunSpec) (Results, error) {
+	b, err := workload.ByName(spec.Benchmark)
+	if err != nil {
+		return Results{}, err
+	}
+	cfg := Config(spec)
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	p := workload.DefaultParams()
+	p.NumSMs = cfg.NumSMs
+	p.WarpsPerSM = cfg.WarpsPerSM
+	if spec.Scale > 0 {
+		p.Scale = spec.Scale
+	}
+	if spec.Seed != 0 {
+		p.Seed = spec.Seed
+	}
+	sys, err := gpu.NewSystem(cfg, b.Build(p))
+	if err != nil {
+		return Results{}, err
+	}
+	res := sys.Run()
+	if !res.Drained {
+		return res, fmt.Errorf("dramlat: %s/%s hit MaxTicks before completing", spec.Benchmark, spec.Scheduler)
+	}
+	return res, nil
+}
+
+// MERBTable returns Table I for the default GDDR5 timings.
+func MERBTable(maxBanks int) []int { return gddr5.Default().MERBTable(maxBanks) }
+
+// Timing returns the Table II GDDR5 timing set.
+func Timing() gddr5.Timing { return gddr5.Default() }
+
+// PowerModel returns the GDDR5 power model used for the Section VI-B
+// analysis.
+func PowerModel() power.Model { return power.DefaultGDDR5() }
+
+// EstimatePower evaluates the power model over a run's DRAM activity.
+func EstimatePower(res Results) power.Breakdown {
+	return PowerModel().Estimate(res.DRAM, res.Ticks, 6)
+}

@@ -1,0 +1,106 @@
+package dramlat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistries(t *testing.T) {
+	if len(Schedulers()) != 12 {
+		t.Fatalf("%d schedulers", len(Schedulers()))
+	}
+	if len(WarpAwareSchedulers()) != 4 {
+		t.Fatalf("%d warp-aware schedulers", len(WarpAwareSchedulers()))
+	}
+	if len(Benchmarks()) != 17 {
+		t.Fatalf("%d benchmarks, want 11 irregular + 6 regular", len(Benchmarks()))
+	}
+	if len(IrregularNames()) != 11 || len(RegularNames()) != 6 {
+		t.Fatal("suite split wrong")
+	}
+}
+
+func TestMERBTableFacade(t *testing.T) {
+	tab := MERBTable(16)
+	want := []int{31, 20, 10, 7, 5, 5}
+	for i, w := range want {
+		if tab[i] != w {
+			t.Fatalf("MERB table %v", tab[:6])
+		}
+	}
+}
+
+func TestTimingFacade(t *testing.T) {
+	tm := Timing()
+	if tm.TRC != 60 || tm.TCAS != 18 {
+		t.Fatalf("timing %+v", tm)
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	cfg := Config(RunSpec{SMs: 4, WarpsPerSM: 8, Scheduler: "wg", SBWASAlpha: 0.75, ZeroDivergence: true})
+	if cfg.NumSMs != 4 || cfg.WarpsPerSM != 8 || cfg.Scheduler != "wg" ||
+		cfg.SBWASAlpha != 0.75 || !cfg.ZeroDivergence {
+		t.Fatalf("config %+v", cfg)
+	}
+	// Defaults preserved when unset.
+	def := Config(RunSpec{})
+	if def.NumSMs != 30 || def.Scheduler != "gmc" {
+		t.Fatalf("defaults %+v", def)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(RunSpec{Benchmark: "nope", Scheduler: "gmc"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Run(RunSpec{Benchmark: "bfs", Scheduler: "nope"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestRunSmall(t *testing.T) {
+	res, err := Run(RunSpec{
+		Benchmark: "bfs", Scheduler: "wg-w",
+		Scale: 0.1, SMs: 4, WarpsPerSM: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "bfs" || res.Scheduler != "wg-w" {
+		t.Fatalf("identity %q/%q", res.Workload, res.Scheduler)
+	}
+	if res.Ticks <= 0 || res.IPC <= 0 || res.DRAM.ReadTxns == 0 {
+		t.Fatalf("degenerate results %+v", res)
+	}
+	pw := EstimatePower(res)
+	if pw.TotalMW <= pw.BackgroundMW {
+		t.Fatalf("power breakdown %+v", pw)
+	}
+}
+
+func TestRunDeterministicFacade(t *testing.T) {
+	spec := RunSpec{Benchmark: "sad", Scheduler: "gmc", Scale: 0.1, SMs: 4, WarpsPerSM: 4, Seed: 3}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ticks != b.Ticks || a.DRAM.ACTs != b.DRAM.ACTs {
+		t.Fatal("facade runs nondeterministic")
+	}
+}
+
+func TestBenchmarkInfoFields(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if b.Name == "" || b.Suite == "" || b.Desc == "" {
+			t.Fatalf("incomplete info %+v", b)
+		}
+		if strings.ContainsAny(b.Name, " \t") {
+			t.Fatalf("benchmark name %q has spaces", b.Name)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Scheduler comparison across a mixed suite, including the Fig 4 ideal
+// models: for each workload, print GMC vs the full warp-aware stack vs the
+// zero-latency-divergence upper bound, showing how much of the ideal
+// headroom warp-aware scheduling captures.
+//
+//	go run ./examples/schedcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dramlat"
+)
+
+func main() {
+	suite := []string{"sp", "bh", "PVC", "spmv", "sad"}
+
+	fmt.Println("How much of the zero-divergence headroom does WG-W capture?")
+	fmt.Printf("%-14s %10s %10s %12s %10s\n",
+		"bench", "wg-w", "zero-div", "captured", "perfect")
+	for _, b := range suite {
+		run := func(sched string, perfect, zd bool) int64 {
+			res, err := dramlat.Run(dramlat.RunSpec{
+				Benchmark: b, Scheduler: sched,
+				Scale:             0.25,
+				PerfectCoalescing: perfect, ZeroDivergence: zd,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.Ticks
+		}
+		base := run("gmc", false, false)
+		wgw := float64(base) / float64(run("wg-w", false, false))
+		zd := float64(base) / float64(run("gmc", false, true))
+		pc := float64(base) / float64(run("gmc", true, false))
+		captured := 0.0
+		if zd > 1 {
+			captured = (wgw - 1) / (zd - 1)
+		}
+		fmt.Printf("%-14s %9.3fx %9.3fx %11.0f%% %9.3fx\n", b, wgw, zd, captured*100, pc)
+	}
+	fmt.Println()
+	fmt.Println("zero-div: all of a warp's data returned with its first request")
+	fmt.Println("(Fig 4's upper bound, +43% in the paper); perfect: one request")
+	fmt.Println("per load (+5x in the paper, unrealizable).")
+}

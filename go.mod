@@ -1,0 +1,3 @@
+module dramlat
+
+go 1.22

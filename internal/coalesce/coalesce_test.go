@@ -1,0 +1,111 @@
+package coalesce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSameLineCoalesces(t *testing.T) {
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 0x1000 + uint64(i*4) // 32 consecutive words: one line
+	}
+	got := Lines(addrs)
+	if len(got) != 1 || got[0] != 0x1000 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFullyDivergent(t *testing.T) {
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 4096
+	}
+	got := Lines(addrs)
+	if len(got) != 32 {
+		t.Fatalf("got %d lines, want 32", len(got))
+	}
+}
+
+func TestFirstAppearanceOrder(t *testing.T) {
+	got := Lines([]uint64{0x300, 0x100, 0x380, 0x180, 0x100})
+	want := []uint64{0x300, 0x100, 0x380, 0x180}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Lines(nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Properties: every input address is covered by an output line; outputs are
+// unique, line-aligned, and no more numerous than the inputs.
+func TestProperties(t *testing.T) {
+	f := func(raw []uint64) bool {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		out := Lines(raw)
+		if len(out) > len(raw) {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, l := range out {
+			if l%LineBytes != 0 || seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		for _, a := range raw {
+			if !seen[a&^uint64(LineBytes-1)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinesIntoMatchesLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]uint64, 0, 32)
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(32) + 1
+		addrs := make([]uint64, n)
+		for j := range addrs {
+			addrs[j] = rng.Uint64() % (1 << 30)
+		}
+		a := Lines(addrs)
+		buf = LinesInto(buf, addrs)
+		if len(a) != len(buf) {
+			t.Fatalf("length mismatch %d vs %d", len(a), len(buf))
+		}
+		for j := range a {
+			if a[j] != buf[j] {
+				t.Fatalf("mismatch at %d", j)
+			}
+		}
+	}
+}
+
+func BenchmarkLines32Divergent(b *testing.B) {
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 8192
+	}
+	buf := make([]uint64, 0, 32)
+	for i := 0; i < b.N; i++ {
+		buf = LinesInto(buf, addrs)
+	}
+}

@@ -1,0 +1,83 @@
+package coordnet
+
+import (
+	"testing"
+
+	"dramlat/internal/memreq"
+)
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	n := New(6, 4)
+	g := memreq.GroupID{SM: 1, Warp: 2, Load: 3}
+	n.Broadcast(2, g, 17, 100)
+	if n.Sent != 5 {
+		t.Fatalf("sent = %d, want 5", n.Sent)
+	}
+	// Not yet delivered before serialization+delay elapse.
+	for dst := 0; dst < 6; dst++ {
+		if got := n.Deliver(dst, 100); len(got) != 0 {
+			t.Fatalf("dst %d got message instantly", dst)
+		}
+	}
+	for dst := 0; dst < 6; dst++ {
+		got := n.Deliver(dst, 100+2+4)
+		if dst == 2 {
+			if len(got) != 0 {
+				t.Fatal("source received its own broadcast")
+			}
+			continue
+		}
+		if len(got) != 1 || got[0].Group != g || got[0].Score != 17 || got[0].From != 2 {
+			t.Fatalf("dst %d got %+v", dst, got)
+		}
+	}
+	if n.Delivered != 5 {
+		t.Fatalf("delivered = %d", n.Delivered)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	n := New(2, 0)
+	g := memreq.GroupID{SM: 0, Warp: 0, Load: 1}
+	// Two back-to-back broadcasts on the same link: the second must be
+	// delayed by the link occupancy of the first.
+	n.Broadcast(0, g, 1, 10)
+	n.Broadcast(0, g, 2, 10)
+	if got := n.Deliver(1, 12); len(got) != 1 || got[0].Score != 1 {
+		t.Fatalf("first delivery %+v", got)
+	}
+	if got := n.Deliver(1, 13); len(got) != 0 {
+		t.Fatalf("second message arrived too early: %+v", got)
+	}
+	if got := n.Deliver(1, 14); len(got) != 1 || got[0].Score != 2 {
+		t.Fatalf("second delivery %+v", got)
+	}
+}
+
+func TestPendingFor(t *testing.T) {
+	n := New(3, 10)
+	n.Broadcast(0, memreq.GroupID{Load: 1}, 5, 0)
+	if n.PendingFor(1) != 1 || n.PendingFor(2) != 1 || n.PendingFor(0) != 0 {
+		t.Fatalf("pending: %d %d %d", n.PendingFor(0), n.PendingFor(1), n.PendingFor(2))
+	}
+	n.Deliver(1, 1000)
+	if n.PendingFor(1) != 0 {
+		t.Fatal("delivery did not drain queue")
+	}
+}
+
+func TestDeliveryOrder(t *testing.T) {
+	n := New(2, 1)
+	for i := 0; i < 5; i++ {
+		n.Broadcast(0, memreq.GroupID{Load: uint32(i + 1)}, i, int64(i*10))
+	}
+	got := n.Deliver(1, 1000)
+	if len(got) != 5 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	for i, m := range got {
+		if m.Score != i {
+			t.Fatalf("out of order: %+v", got)
+		}
+	}
+}

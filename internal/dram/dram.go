@@ -1,0 +1,544 @@
+// Package dram implements a cycle-accurate model of one GDDR5 memory
+// channel: 16 banks organized into 4 bank groups, per-bank in-order command
+// queues, and a command scheduler that interleaves bank groups first and
+// banks second (the multi-level round-robin of Section II-C), while
+// enforcing every timing constraint of the Table II set.
+//
+// The channel is policy-free: a memory controller (internal/memctrl,
+// internal/core) decides which transaction to enqueue and when; the channel
+// guarantees that the resulting DRAM command stream is legal and reports
+// when each transaction's data transfer finishes.
+//
+// One transaction moves one 128-byte request; because the 64-bit GDDR5
+// channel transfers 64 bytes per burst (BL8, tBURST = 2 tCK), a transaction
+// issues two column commands. Keeping the 64B burst as the unit of data
+// transfer keeps the MERB arithmetic of Section IV-D identical to the
+// paper's.
+//
+// Refresh is off by default (the paper does not discuss it and it affects
+// all schedulers identically) but can be enabled with SetRefresh: an
+// all-bank refresh model that drains the command queues, closes every bank
+// and blocks the channel for tRFC every tREFI.
+package dram
+
+import (
+	"fmt"
+
+	"dramlat/internal/gddr5"
+	"dramlat/internal/memreq"
+)
+
+// CmdType enumerates DRAM commands.
+type CmdType uint8
+
+const (
+	// CmdACT opens a row in a bank.
+	CmdACT CmdType = iota
+	// CmdPRE closes the open row of a bank.
+	CmdPRE
+	// CmdRD reads one 64B burst from the open row.
+	CmdRD
+	// CmdWR writes one 64B burst to the open row.
+	CmdWR
+)
+
+func (c CmdType) String() string {
+	switch c {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	}
+	return "?"
+}
+
+// Command is one entry of a per-bank command queue.
+type Command struct {
+	Type CmdType
+	Bank int
+	Row  int          // target row (ACT) or open-row check (RD/WR)
+	Txn  *Transaction // owning transaction for column commands
+	Last bool         // final column command of the transaction
+}
+
+// Transaction is a scheduled request: the unit the transaction scheduler
+// hands to the channel. Hit records whether the transaction was projected
+// (and, because per-bank queues execute in order, actually is) a row hit.
+type Transaction struct {
+	Req      *memreq.Request
+	Hit      bool
+	CASTotal int
+	casDone  int
+	DoneAt   int64 // tick at which the last burst finishes
+}
+
+// bank tracks both the architectural state (open row, earliest-legal times)
+// and the shadow scheduling state (the row that will be open once all
+// queued commands execute) of one DRAM bank.
+type bank struct {
+	openRow int // -1 when closed (architectural)
+	actOK   int64
+	preOK   int64
+	casOK   int64
+
+	schedRow     int // row open after queued cmds execute; -1 closed
+	queue        []Command
+	queuedTxns   int
+	queuedScore  int // WG score units (1 per projected hit, 3 per miss)
+	hitsSinceAct int // 64B bursts scheduled since the last scheduled ACT
+}
+
+// Stats aggregates channel activity counters.
+type Stats struct {
+	Refreshes int64
+	ACTs      int64
+	PREs      int64
+	RDBursts  int64
+	WRBursts  int64
+	HitTxns   int64
+	MissTxns  int64
+	ReadTxns  int64
+	WriteTxns int64
+	BusyTicks int64 // data-bus busy time (bursts * tBURST)
+}
+
+// Channel is one 64-bit GDDR5 channel with a single rank of 16 banks.
+type Channel struct {
+	T        gddr5.Timing
+	NumBanks int
+	Groups   int // bank groups (4)
+	QueueCap int // max queued transactions per bank
+
+	banks []bank
+
+	// Rank-level timing state.
+	lastACT   int64    // for tRRD
+	fawWindow [4]int64 // ticks of the last four ACTs (ring)
+	fawIdx    int
+
+	lastCASGroup []int64 // last column command per bank group (tCCDL)
+	lastCASAny   int64   // last column command on the channel (tCCDS)
+	lastRDCmd    int64   // last read column command (tRTW)
+	wrDataEnd    int64   // end of last write data (tWTR)
+	busFreeAt    int64   // data bus availability
+
+	rrBank  int // round-robin position within group
+	rrGroup int // round-robin position across groups
+
+	// busOnly holds Zero-Latency-Divergence trailing requests: they are
+	// serviced purely as data-bus transfers (Fig 4's ideal model keeps
+	// bus bandwidth and contention but abstracts bank conflicts away).
+	busOnly []*Transaction
+
+	// Refresh state (SetRefresh).
+	refreshInterval int64
+	trfc            int64
+	nextRefresh     int64
+	refreshDue      bool
+
+	// OnComplete fires when a transaction's final burst finishes
+	// transferring. It may be nil.
+	OnComplete func(*Transaction, int64)
+
+	Stats Stats
+}
+
+// NewChannel builds a channel with the given timing and geometry.
+func NewChannel(t gddr5.Timing, numBanks, groups, queueCap int) *Channel {
+	if numBanks%groups != 0 {
+		panic("dram: banks must divide evenly into groups")
+	}
+	c := &Channel{
+		T:            t,
+		NumBanks:     numBanks,
+		Groups:       groups,
+		QueueCap:     queueCap,
+		banks:        make([]bank, numBanks),
+		lastCASGroup: make([]int64, groups),
+	}
+	const past = -1 << 30
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].schedRow = -1
+		c.banks[i].actOK = past
+		c.banks[i].preOK = past
+		c.banks[i].casOK = past
+	}
+	c.lastACT = past
+	for i := range c.fawWindow {
+		c.fawWindow[i] = past
+	}
+	for i := range c.lastCASGroup {
+		c.lastCASGroup[i] = past
+	}
+	c.lastCASAny = past
+	c.lastRDCmd = past
+	c.wrDataEnd = past
+	c.busFreeAt = past
+	return c
+}
+
+func (c *Channel) group(bankIdx int) int { return bankIdx / (c.NumBanks / c.Groups) }
+
+// SetRefresh enables all-bank refresh every interval ticks, blocking the
+// channel for trfc ticks per refresh. Passing interval 0 disables it.
+func (c *Channel) SetRefresh(interval, trfc int64) {
+	c.refreshInterval = interval
+	c.trfc = trfc
+	c.nextRefresh = interval
+}
+
+// CanAccept reports whether bank b's command queue has room for another
+// transaction. While a refresh is pending the channel drains and accepts
+// nothing new.
+func (c *Channel) CanAccept(b int) bool {
+	if c.refreshDue {
+		return false
+	}
+	return c.banks[b].queuedTxns < c.QueueCap
+}
+
+// maybeRefresh arms and performs all-bank refreshes. It returns true while
+// a refresh is blocking the channel this tick.
+func (c *Channel) maybeRefresh(now int64) bool {
+	if c.refreshInterval <= 0 {
+		return false
+	}
+	if !c.refreshDue && now >= c.nextRefresh {
+		c.refreshDue = true
+	}
+	if !c.refreshDue {
+		return false
+	}
+	// Drain: issue queued commands as usual until every queue is empty.
+	for i := range c.banks {
+		if len(c.banks[i].queue) > 0 {
+			return false // keep issuing; acceptance is already blocked
+		}
+	}
+	if len(c.busOnly) > 0 {
+		return false
+	}
+	// Wait until every bank may precharge and the bus is quiet.
+	for i := range c.banks {
+		if c.banks[i].openRow != -1 && now < c.banks[i].preOK {
+			return true
+		}
+	}
+	if now < c.busFreeAt {
+		return true
+	}
+	// Perform the refresh: close everything, block for tRFC.
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].schedRow = -1
+		c.banks[i].actOK = now + c.trfc
+		c.banks[i].hitsSinceAct = 0
+	}
+	c.Stats.Refreshes++
+	c.refreshDue = false
+	c.nextRefresh = now + c.refreshInterval
+	return true
+}
+
+// SchedRow returns the row that will be open in bank b once all queued
+// commands execute, or -1 if the bank will be (or stay) closed.
+func (c *Channel) SchedRow(b int) int { return c.banks[b].schedRow }
+
+// QueuedTxns returns the number of transactions queued at bank b.
+func (c *Channel) QueuedTxns(b int) int { return c.banks[b].queuedTxns }
+
+// QueuedScore returns the WG completion-time score (1 per projected row
+// hit, 3 per projected row miss; Section IV-B1) of the transactions queued
+// at bank b.
+func (c *Channel) QueuedScore(b int) int { return c.banks[b].queuedScore }
+
+// HitsSinceAct returns the number of 64B row-hit bursts scheduled to bank b
+// since its last scheduled activate: the MERB counter of Section IV-D.
+func (c *Channel) HitsSinceAct(b int) int { return c.banks[b].hitsSinceAct }
+
+// BanksWithQueuedWork counts banks with at least one queued transaction.
+func (c *Channel) BanksWithQueuedWork() int {
+	n := 0
+	for i := range c.banks {
+		if c.banks[i].queuedTxns > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ProjectHit reports whether a request to (bank, row) would be a row hit if
+// enqueued now.
+func (c *Channel) ProjectHit(bankIdx, row int) bool {
+	return c.banks[bankIdx].schedRow == row
+}
+
+// EnqueueBusOnly schedules a request that consumes only data-bus
+// bandwidth: two bursts at the earliest bus opening, no bank commands.
+func (c *Channel) EnqueueBusOnly(r *memreq.Request) *Transaction {
+	txn := &Transaction{Req: r, Hit: true, CASTotal: 2}
+	c.busOnly = append(c.busOnly, txn)
+	return txn
+}
+
+// tickBusOnly issues the oldest bus-only transfer if the data bus is open.
+// It mirrors a read's bus occupancy (data at now+tCAS for 2*tBURST).
+func (c *Channel) tickBusOnly(now int64) bool {
+	if len(c.busOnly) == 0 {
+		return false
+	}
+	start := now + int64(c.T.TCAS)
+	if start < c.busFreeAt {
+		return false
+	}
+	txn := c.busOnly[0]
+	c.busOnly = c.busOnly[1:]
+	end := start + 2*int64(c.T.TBURST)
+	c.busFreeAt = end
+	c.Stats.RDBursts += 2
+	c.Stats.BusyTicks += 2 * int64(c.T.TBURST)
+	c.Stats.ReadTxns++
+	c.Stats.HitTxns++
+	txn.casDone = txn.CASTotal
+	txn.DoneAt = end
+	if c.OnComplete != nil {
+		c.OnComplete(txn, end)
+	}
+	return true
+}
+
+// Enqueue schedules a request onto its bank's command queue, generating
+// PRE/ACT commands as needed based on the shadow row state. It returns the
+// transaction and whether it was a projected row hit. The caller must have
+// checked CanAccept.
+func (c *Channel) Enqueue(r *memreq.Request) *Transaction {
+	b := &c.banks[r.Bank]
+	if b.queuedTxns >= c.QueueCap {
+		panic(fmt.Sprintf("dram: enqueue to full bank %d", r.Bank))
+	}
+	casType := CmdRD
+	if r.Kind == memreq.Write {
+		casType = CmdWR
+	}
+	const casPerTxn = 2 // 128B request = two 64B bursts
+	txn := &Transaction{Req: r, CASTotal: casPerTxn}
+
+	if b.schedRow == r.Row {
+		txn.Hit = true
+		b.queuedScore++
+		b.hitsSinceAct += casPerTxn
+		c.Stats.HitTxns++
+	} else {
+		if b.schedRow != -1 {
+			b.queue = append(b.queue, Command{Type: CmdPRE, Bank: r.Bank})
+		}
+		b.queue = append(b.queue, Command{Type: CmdACT, Bank: r.Bank, Row: r.Row})
+		b.schedRow = r.Row
+		b.queuedScore += 3
+		b.hitsSinceAct = casPerTxn
+		c.Stats.MissTxns++
+	}
+	for i := 0; i < casPerTxn; i++ {
+		b.queue = append(b.queue, Command{
+			Type: casType, Bank: r.Bank, Row: r.Row,
+			Txn: txn, Last: i == casPerTxn-1,
+		})
+	}
+	b.queuedTxns++
+	if r.Kind == memreq.Write {
+		c.Stats.WriteTxns++
+	} else {
+		c.Stats.ReadTxns++
+	}
+	return txn
+}
+
+// legal reports whether cmd may issue at tick now.
+func (c *Channel) legal(cmd *Command, now int64) bool {
+	b := &c.banks[cmd.Bank]
+	switch cmd.Type {
+	case CmdACT:
+		if b.openRow != -1 || now < b.actOK {
+			return false
+		}
+		if now < c.lastACT+int64(c.T.TRRD) {
+			return false
+		}
+		if now < c.fawWindow[c.fawIdx]+int64(c.T.TFAW) {
+			return false
+		}
+		return true
+	case CmdPRE:
+		return b.openRow != -1 && now >= b.preOK
+	case CmdRD:
+		if b.openRow != cmd.Row || now < b.casOK {
+			return false
+		}
+		if now < c.lastCASGroup[c.group(cmd.Bank)]+int64(c.T.TCCDL) {
+			return false
+		}
+		if now < c.lastCASAny+int64(c.T.TCCDS) {
+			return false
+		}
+		if now < c.wrDataEnd+int64(c.T.TWTR) {
+			return false
+		}
+		return now+int64(c.T.TCAS) >= c.busFreeAt
+	case CmdWR:
+		if b.openRow != cmd.Row || now < b.casOK {
+			return false
+		}
+		if now < c.lastCASGroup[c.group(cmd.Bank)]+int64(c.T.TCCDL) {
+			return false
+		}
+		if now < c.lastCASAny+int64(c.T.TCCDS) {
+			return false
+		}
+		if now < c.lastRDCmd+int64(c.T.TRTW) {
+			return false
+		}
+		return now+int64(c.T.TWL) >= c.busFreeAt
+	}
+	return false
+}
+
+// apply issues cmd at tick now, updating all timing state.
+func (c *Channel) apply(cmd *Command, now int64) {
+	b := &c.banks[cmd.Bank]
+	switch cmd.Type {
+	case CmdACT:
+		b.openRow = cmd.Row
+		b.casOK = now + int64(c.T.TRCD)
+		if ras := now + int64(c.T.TRAS); ras > b.preOK {
+			b.preOK = ras
+		}
+		b.actOK = now + int64(c.T.TRC)
+		c.lastACT = now
+		c.fawWindow[c.fawIdx] = now
+		c.fawIdx = (c.fawIdx + 1) % len(c.fawWindow)
+		c.Stats.ACTs++
+	case CmdPRE:
+		b.openRow = -1
+		if ok := now + int64(c.T.TRP); ok > b.actOK {
+			b.actOK = ok
+		}
+		c.Stats.PREs++
+	case CmdRD:
+		if p := now + int64(c.T.TRTP); p > b.preOK {
+			b.preOK = p
+		}
+		g := c.group(cmd.Bank)
+		c.lastCASGroup[g] = now
+		c.lastCASAny = now
+		c.lastRDCmd = now
+		end := now + int64(c.T.TCAS) + int64(c.T.TBURST)
+		c.busFreeAt = end
+		c.Stats.RDBursts++
+		c.Stats.BusyTicks += int64(c.T.TBURST)
+		c.finishBurst(cmd, end)
+	case CmdWR:
+		dataEnd := now + int64(c.T.TWL) + int64(c.T.TBURST)
+		if p := dataEnd + int64(c.T.TWR); p > b.preOK {
+			b.preOK = p
+		}
+		g := c.group(cmd.Bank)
+		c.lastCASGroup[g] = now
+		c.lastCASAny = now
+		c.wrDataEnd = dataEnd
+		c.busFreeAt = dataEnd
+		c.Stats.WRBursts++
+		c.Stats.BusyTicks += int64(c.T.TBURST)
+		c.finishBurst(cmd, dataEnd)
+	}
+}
+
+func (c *Channel) finishBurst(cmd *Command, dataEnd int64) {
+	txn := cmd.Txn
+	txn.casDone++
+	if cmd.Last {
+		if txn.casDone != txn.CASTotal {
+			panic("dram: last burst issued before siblings")
+		}
+		txn.DoneAt = dataEnd
+		c.banks[cmd.Bank].queuedTxns--
+		score := 1
+		if !txn.Hit {
+			score = 3
+		}
+		c.banks[cmd.Bank].queuedScore -= score
+		if c.OnComplete != nil {
+			c.OnComplete(txn, dataEnd)
+		}
+	}
+}
+
+// Tick attempts to issue one command on the channel's command bus at tick
+// now, visiting banks in bank-group-interleaved round-robin order so that
+// consecutive column commands prefer different bank groups (lower tCCD).
+// It returns the issued command or nil.
+func (c *Channel) Tick(now int64) *Command {
+	if c.maybeRefresh(now) {
+		return nil
+	}
+	c.tickBusOnly(now)
+	perGroup := c.NumBanks / c.Groups
+	for i := 0; i < c.NumBanks; i++ {
+		g := (c.rrGroup + i%c.Groups) % c.Groups
+		within := (c.rrBank + i/c.Groups) % perGroup
+		bi := g*perGroup + within
+		b := &c.banks[bi]
+		if len(b.queue) == 0 {
+			continue
+		}
+		cmd := &b.queue[0]
+		if !c.legal(cmd, now) {
+			continue
+		}
+		issued := b.queue[0]
+		b.queue = b.queue[1:]
+		c.apply(&issued, now)
+		// Advance round-robin past the bank we just served.
+		c.rrGroup = (g + 1) % c.Groups
+		if g == c.Groups-1 {
+			c.rrBank = (within + 1) % perGroup
+		}
+		return &issued
+	}
+	return nil
+}
+
+// Idle reports whether the channel has no queued commands at all.
+func (c *Channel) Idle() bool {
+	if len(c.busOnly) > 0 {
+		return false
+	}
+	for i := range c.banks {
+		if len(c.banks[i].queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Utilization returns the fraction of elapsed ticks the data bus spent
+// transferring data.
+func (c *Channel) Utilization(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Stats.BusyTicks) / float64(elapsed)
+}
+
+// RowHitRate returns the fraction of transactions that were row hits.
+func (s Stats) RowHitRate() float64 {
+	tot := s.HitTxns + s.MissTxns
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.HitTxns) / float64(tot)
+}

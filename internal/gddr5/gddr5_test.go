@@ -1,0 +1,138 @@
+package gddr5
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivedCycles(t *testing.T) {
+	tm := Default()
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"tRC", tm.TRC, 60},
+		{"tRCD", tm.TRCD, 18},
+		{"tRP", tm.TRP, 18},
+		{"tCAS", tm.TCAS, 18},
+		{"tRAS", tm.TRAS, 42},
+		{"tRRD", tm.TRRD, 9},
+		{"tWTR", tm.TWTR, 8},
+		{"tFAW", tm.TFAW, 35},
+		{"tRTP", tm.TRTP, 3},
+		{"tWR", tm.TWR, 18},
+		{"tWL", tm.TWL, 4},
+		{"tBURST", tm.TBURST, 2},
+		{"tRTRS", tm.TRTRS, 1},
+		{"tCCDL", tm.TCCDL, 3},
+		{"tCCDS", tm.TCCDS, 2},
+		{"tRTW", tm.TRTW, 18 + 2 + 1 - 4},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d cycles, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRowMissPenalty(t *testing.T) {
+	tm := Default()
+	// Section IV-B1: a row miss costs tRP+tRCD+tCAS = 36ns vs tCAS = 12ns.
+	if got := tm.RowMissPenaltyNS(); got != 24 {
+		t.Fatalf("RowMissPenaltyNS = %v, want 24 (so miss total 36ns vs hit 12ns)", got)
+	}
+}
+
+// Table I of the paper, reproduced from first principles.
+func TestMERBTableMatchesPaper(t *testing.T) {
+	tm := Default()
+	want := map[int]int{1: 31, 2: 20, 3: 10, 4: 7, 5: 5}
+	for b, w := range want {
+		if got := tm.MERB(b); got != w {
+			t.Errorf("MERB(%d) = %d, want %d (Table I)", b, got, w)
+		}
+	}
+	// Banks 6..16 all share the activate-rotation-bound value 5.
+	for b := 6; b <= 16; b++ {
+		if got := tm.MERB(b); got != 5 {
+			t.Errorf("MERB(%d) = %d, want 5 (Table I row '6-16')", b, got)
+		}
+	}
+}
+
+func TestMERBTableSlice(t *testing.T) {
+	tab := Default().MERBTable(16)
+	if len(tab) != 16 {
+		t.Fatalf("len = %d", len(tab))
+	}
+	want := []int{31, 20, 10, 7, 5, 5}
+	for i, w := range want {
+		if tab[i] != w {
+			t.Errorf("tab[%d] = %d, want %d", i, tab[i], w)
+		}
+	}
+}
+
+// MERB is monotonically non-increasing in the number of busy banks and
+// always within [1, 31].
+func TestMERBMonotone(t *testing.T) {
+	tm := Default()
+	f := func(b uint8) bool {
+		n := int(b%32) + 1
+		m := tm.MERB(n)
+		if m < 1 || m > MERBMax {
+			return false
+		}
+		if n > 1 && tm.MERB(n-1) < m {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBankUtilization(t *testing.T) {
+	tm := Default()
+	// Section IV-D: util = 1.33n/(1.33n+25.33); at n=31 this is ~62%.
+	got := tm.SingleBankUtilization(31)
+	if math.Abs(got-0.62) > 0.01 {
+		t.Fatalf("SingleBankUtilization(31) = %.4f, want ~0.62", got)
+	}
+	// Utilization is monotone in n and bounded by 1.
+	prev := 0.0
+	for n := 1; n <= 64; n++ {
+		u := tm.SingleBankUtilization(n)
+		if u <= prev || u >= 1 {
+			t.Fatalf("utilization not monotone/bounded at n=%d: %v (prev %v)", n, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestCyclesRounding(t *testing.T) {
+	// Exact multiples must not round up an extra cycle.
+	if got := Cycles(2 * TCK); got != 2 {
+		t.Fatalf("Cycles(2*tCK) = %d, want 2", got)
+	}
+	if got := Cycles(0); got != 0 {
+		t.Fatalf("Cycles(0) = %d, want 0", got)
+	}
+	// Fractions round up: 5.5ns / 0.667 = 8.25 -> 9.
+	if got := Cycles(5.5); got != 9 {
+		t.Fatalf("Cycles(5.5) = %d, want 9", got)
+	}
+}
+
+func TestDeriveClampsNegativeRTW(t *testing.T) {
+	tm := Default()
+	tm.TCASNS = 0
+	tm.TWL = 100
+	tm.Derive()
+	if tm.TRTW != 0 {
+		t.Fatalf("TRTW = %d, want clamped to 0", tm.TRTW)
+	}
+}

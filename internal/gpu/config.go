@@ -1,0 +1,163 @@
+// Package gpu assembles the full system of Table II: 30 SIMT cores, a
+// crossbar, six memory partitions (L2 slice + GDDR5 channel + memory
+// controller), and the coordination network, driven by one global clock
+// (1 tick = 1 GDDR5 command cycle, 0.667 ns).
+package gpu
+
+import (
+	"fmt"
+	"io"
+
+	"dramlat/internal/gddr5"
+)
+
+// Config collects every simulation parameter. DefaultConfig reproduces
+// Table II.
+type Config struct {
+	// Cores.
+	NumSMs     int
+	WarpsPerSM int
+	WarpSize   int
+	L1Lat      int64
+	// WarpSched selects the SM warp scheduler: "gto" (default,
+	// greedy-then-oldest) or "lrr" (loose round-robin).
+	WarpSched string
+
+	// Caches.
+	L1SizeBytes int
+	L1Ways      int
+	L1MSHRs     int
+	L2SliceSize int
+	L2Ways      int
+	L2MSHRs     int
+	L2Lat       int64
+	LineBytes   int
+
+	// Interconnect.
+	XbarLat     int64
+	XbarQueue   int
+	L2PipeDepth int
+
+	// Memory system.
+	NumChannels   int
+	NumBanks      int
+	BankGroups    int
+	CmdQueueCap   int
+	ReadQ         int
+	WriteQ        int
+	HighWM        int
+	LowWM         int
+	WriteAgeDrain int64
+	Timing        gddr5.Timing
+
+	// Scheduling policy (see Schedulers).
+	Scheduler  string
+	SBWASAlpha float64
+	CoordDelay int64
+	AgeThresh  int64
+	// ATLASQuantum is the rank-update period of the ATLAS comparator.
+	ATLASQuantum int64
+	// EnableRefresh turns on all-bank refresh (tREFI ~3.9us, tRFC
+	// ~107ns for the 1Gb part). Off by default: the paper does not model
+	// it and it affects every scheduler identically.
+	EnableRefresh bool
+	RefreshTicks  int64 // tREFI in ticks (default 5850 ~ 3.9us)
+	TRFCTicks     int64 // tRFC in ticks (default 160 ~ 107ns)
+
+	// Ideal models (Fig 4).
+	PerfectCoalescing bool
+	ZeroDivergence    bool
+
+	// Ablation selects a design-choice ablation for the warp-aware
+	// schedulers: "" (none), "count-score" (rank by request count, not
+	// bank-aware completion time), "no-orphan" (disable IV-D orphan
+	// control), "no-credits" (drop the L2 group-complete credits and
+	// rely on the age fallback alone).
+	Ablation string
+
+	// MaxTicks bounds the simulation.
+	MaxTicks int64
+
+	// CmdLog, when non-nil, receives one line per issued DRAM command
+	// ("tick chN TYPE bank row") for debugging and external analysis.
+	CmdLog io.Writer
+}
+
+// Schedulers lists the supported policy names in evaluation order: the
+// simple baselines, the throughput-optimized GMC, the comparators from
+// Section VI-C (SBWAS, WAFCFS via the fcfs+ordered-interconnect pair,
+// PAR-BS and ATLAS from the CPU-scheduler discussion), the paper's four
+// warp-aware policies, and the shared-data extension from the conclusion.
+func Schedulers() []string {
+	return []string{"fcfs", "wafcfs", "frfcfs", "gmc", "sbwas", "parbs", "atlas",
+		"wg", "wg-m", "wg-bw", "wg-w", "wg-sh"}
+}
+
+// DefaultConfig returns the Table II configuration with the GMC baseline
+// scheduler.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:     30,
+		WarpsPerSM: 32, // 1024 threads / 32-thread warps
+		WarpSize:   32,
+		L1Lat:      20,
+
+		L1SizeBytes: 32 << 10,
+		L1Ways:      8,
+		L1MSHRs:     64,
+		L2SliceSize: 128 << 10,
+		L2Ways:      16,
+		L2MSHRs:     64,
+		L2Lat:       40,
+		LineBytes:   128,
+
+		XbarLat:     20,
+		XbarQueue:   8,
+		L2PipeDepth: 8,
+
+		NumChannels:   6,
+		NumBanks:      16,
+		BankGroups:    4,
+		CmdQueueCap:   4,
+		ReadQ:         64,
+		WriteQ:        64,
+		HighWM:        32,
+		LowWM:         16,
+		WriteAgeDrain: 4096,
+		Timing:        gddr5.Default(),
+
+		Scheduler:    "gmc",
+		SBWASAlpha:   0.5,
+		CoordDelay:   4,
+		AgeThresh:    2000,
+		ATLASQuantum: 50_000,
+		RefreshTicks: 5850,
+		TRFCTicks:    160,
+
+		MaxTicks: 50_000_000,
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.NumSMs <= 0 || c.WarpsPerSM <= 0 || c.NumChannels <= 0 {
+		return fmt.Errorf("gpu: non-positive geometry")
+	}
+	if c.WarpSched != "" && c.WarpSched != "gto" && c.WarpSched != "lrr" {
+		return fmt.Errorf("gpu: unknown warp scheduler %q", c.WarpSched)
+	}
+	if c.HighWM > c.WriteQ || c.LowWM >= c.HighWM {
+		return fmt.Errorf("gpu: bad write watermarks %d/%d (cap %d)", c.HighWM, c.LowWM, c.WriteQ)
+	}
+	ok := false
+	for _, s := range Schedulers() {
+		if s == c.Scheduler {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("gpu: unknown scheduler %q", c.Scheduler)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package gpu
+
+import (
+	"fmt"
+	"io"
+
+	"dramlat/internal/addrmap"
+	"dramlat/internal/cache"
+	"dramlat/internal/core"
+	"dramlat/internal/memctrl"
+	"dramlat/internal/memreq"
+	"dramlat/internal/stats"
+	"dramlat/internal/xbar"
+)
+
+// pipeEntry is one request inside the L2 slice's lookup pipeline.
+type pipeEntry struct {
+	req     *memreq.Request
+	readyAt int64
+}
+
+// partition is one memory partition: an L2 slice in front of one GDDR5
+// channel and its memory controller (Section II-B).
+type partition struct {
+	id  int
+	l2  *cache.Cache
+	ctl *memctrl.Controller
+	ws  *core.WarpScheduler // non-nil for the wg* schedulers
+	x   *xbar.Xbar
+	col *stats.Collector
+
+	pipe    []pipeEntry
+	pipeCap int
+	evictQ  []*memreq.Request // dirty write-backs awaiting the write queue
+
+	mapper    *addrmap.Mapper
+	mshrCap   int
+	l2Lat     int64
+	nextID    func() uint64
+	noCredits bool      // ablation: drop group-complete credits
+	cmdLog    io.Writer // optional DRAM command trace
+
+	L2Hits, L2Misses, L2Merges int64
+}
+
+func (p *partition) onReadDone(r *memreq.Request, now int64) {
+	// Fill the L2 and emit any displaced dirty victim as a DRAM write.
+	if v, dirty, evicted := p.l2.Fill(r.Addr, false); evicted && dirty {
+		p.pushEvict(v, now)
+	}
+	m := p.l2.MSHRRelease(r.Addr)
+	if p.col != nil {
+		p.col.OnDRAMDone(r.Group, now)
+	}
+	p.x.Respond(p.id, r, now)
+	if m != nil {
+		for _, w := range m.Waiters {
+			mr := w.(*memreq.Request)
+			if p.col != nil {
+				p.col.OnDRAMDone(mr.Group, now)
+			}
+			p.x.Respond(p.id, mr, now)
+		}
+	}
+}
+
+func (p *partition) pushEvict(victim uint64, now int64) {
+	w := &memreq.Request{
+		ID: p.nextID(), Kind: memreq.Write, Addr: victim,
+		Issue: now, Channel: p.id,
+	}
+	// Victim addresses come from this partition, so they decode back to
+	// this channel; only bank/row/col are needed.
+	c := p.mapper.Decode(victim)
+	w.Bank, w.Row, w.Col = c.Bank, c.Row, c.Col
+	p.evictQ = append(p.evictQ, w)
+}
+
+// process handles the head of the L2 pipeline. It returns false when the
+// head must stall (MSHR or read-queue pressure downstream).
+func (p *partition) process(r *memreq.Request, now int64) bool {
+	if r.CreditOnly {
+		if !p.noCredits {
+			p.ctl.GroupComplete(r.Group, now)
+		}
+		return true
+	}
+	if r.Kind == memreq.Write {
+		if len(p.evictQ) >= 16 {
+			return false // eviction buffer full: stall the pipe
+		}
+		if v, dirty, evicted := p.l2.Fill(r.Addr, true); evicted && dirty {
+			p.pushEvict(v, now)
+		}
+		return true
+	}
+	// Read.
+	if p.l2.Lookup(r.Addr) {
+		p.L2Hits++
+		if r.LastInChannel && !p.noCredits {
+			p.ctl.GroupComplete(r.Group, now)
+		}
+		p.x.Respond(p.id, r, now)
+		return true
+	}
+	if m := p.l2.MSHRFor(r.Addr); m != nil {
+		p.L2Merges++
+		m.Waiters = append(m.Waiters, r)
+		if owner, ok := m.Owner.(memreq.GroupID); ok && owner != r.Group {
+			// Another warp now waits on the owner group's line: the
+			// shared-data extension raises the owner's priority.
+			p.ctl.SharedDemand(owner, now)
+		}
+		if r.LastInChannel && !p.noCredits {
+			p.ctl.GroupComplete(r.Group, now)
+		}
+		return true
+	}
+	// True miss: needs an MSHR and a read-queue slot together.
+	if p.l2.MSHRCount() >= p.mshrCap {
+		return false
+	}
+	if !p.ctl.AcceptRead(r, now) {
+		return false
+	}
+	m := p.l2.MSHRAlloc(r.Addr)
+	m.Owner = r.Group
+	p.L2Misses++
+	if p.col != nil {
+		p.col.OnMCArrive(r.Group, p.id)
+	}
+	return true
+}
+
+// Tick advances the partition one cycle.
+func (p *partition) Tick(now int64) {
+	// Retry buffered dirty evictions first: they must not be lost.
+	for len(p.evictQ) > 0 {
+		if !p.ctl.AcceptWrite(p.evictQ[0], now) {
+			break
+		}
+		p.evictQ = p.evictQ[1:]
+	}
+	// L2 pipeline: one request per tick.
+	if len(p.pipe) > 0 && p.pipe[0].readyAt <= now {
+		if p.process(p.pipe[0].req, now) {
+			p.pipe = p.pipe[1:]
+		}
+	}
+	// Pull new work from the crossbar.
+	if len(p.pipe) < p.pipeCap {
+		if req, pop := p.x.PeekPart(p.id, now); req != nil {
+			pop()
+			p.pipe = append(p.pipe, pipeEntry{req, now + p.l2Lat})
+		}
+	}
+	if p.ws != nil {
+		p.ws.PollCoordination(now)
+	}
+	cmd := p.ctl.Tick(now)
+	if cmd != nil && p.cmdLog != nil {
+		fmt.Fprintf(p.cmdLog, "%d ch%d %s b%d r%d\n", now, p.id, cmd.Type, cmd.Bank, cmd.Row)
+	}
+}
+
+// drained reports whether the partition holds no in-flight work.
+func (p *partition) drained() bool {
+	return len(p.pipe) == 0 && len(p.evictQ) == 0 && p.ctl.Idle()
+}

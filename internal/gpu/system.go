@@ -1,0 +1,303 @@
+package gpu
+
+import (
+	"fmt"
+
+	"dramlat/internal/addrmap"
+	"dramlat/internal/cache"
+	"dramlat/internal/coordnet"
+	"dramlat/internal/core"
+	"dramlat/internal/dram"
+	"dramlat/internal/memctrl"
+	"dramlat/internal/memreq"
+	"dramlat/internal/sm"
+	"dramlat/internal/stats"
+	"dramlat/internal/xbar"
+)
+
+// Workload is the per-SM, per-warp instruction streams fed to the GPU.
+type Workload struct {
+	Name     string
+	Programs [][]sm.Program // [sm][warp]
+}
+
+// Results digests one simulation run.
+type Results struct {
+	Scheduler string
+	Workload  string
+
+	Ticks       int64 // tick at which the last warp retired
+	Instr       int64
+	IPC         float64
+	Drained     bool
+	Summary     stats.Summary
+	DRAM        dram.Stats // aggregated over channels
+	Utilization float64    // DRAM data-bus utilization up to Ticks
+	RowHitRate  float64
+	L2HitRate   float64
+	L1HitRate   float64
+
+	// Divergence-gap distribution percentiles (ticks).
+	GapP50, GapP90, GapP99 float64
+
+	// SMIdleFrac is the fraction of core cycles where an SM had live
+	// warps but none ready — memory stalls multithreading could not hide
+	// (Section III-A).
+	SMIdleFrac float64
+
+	DrainsStarted int64
+	WriteFrac     float64 // write bursts / all bursts (Fig 12)
+	// Fig 12: warp-groups pending at drain start, and the unit/orphan
+	// subset (wg schedulers only).
+	DrainStalledGroups       int64
+	DrainStalledUnitOrOrphan int64
+	CoordMessages            int64
+	CoordApplied             int64
+	CoordSoleBlocker         int64
+	GroupsSelected           int64
+	MERBFillers              int64
+	UnitRush                 int64
+}
+
+// System is one assembled GPU simulation.
+type System struct {
+	Cfg    Config
+	Mapper *addrmap.Mapper
+	Col    *stats.Collector
+
+	sms   []*sm.SM
+	pops  []func() *memreq.Request
+	parts []*partition
+	name  string
+	x     *xbar.Xbar
+	net   *coordnet.Network
+
+	atlas *memctrl.ATLASState
+
+	reqID uint64
+	now   int64
+}
+
+// NewSystem assembles a GPU for the given config and workload.
+func NewSystem(cfg Config, w Workload) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Programs) != cfg.NumSMs {
+		return nil, fmt.Errorf("gpu: workload has %d SMs, config %d", len(w.Programs), cfg.NumSMs)
+	}
+	s := &System{
+		Cfg:    cfg,
+		name:   w.Name,
+		Mapper: addrmap.New(cfg.NumChannels, cfg.NumBanks),
+		Col:    stats.NewCollector(),
+		x:      xbar.New(cfg.NumSMs, cfg.NumChannels, cfg.XbarLat, cfg.XbarQueue),
+	}
+	if cfg.Scheduler == "wafcfs" {
+		s.x.NoInterleave = true
+	}
+	switch cfg.Scheduler {
+	case "wg-m", "wg-bw", "wg-w", "wg-sh":
+		s.net = coordnet.New(cfg.NumChannels, cfg.CoordDelay)
+	case "atlas":
+		s.atlas = memctrl.NewATLASState(cfg.ATLASQuantum)
+	}
+
+	for ch := 0; ch < cfg.NumChannels; ch++ {
+		channel := dram.NewChannel(cfg.Timing, cfg.NumBanks, cfg.BankGroups, cfg.CmdQueueCap)
+		if cfg.EnableRefresh {
+			channel.SetRefresh(cfg.RefreshTicks, cfg.TRFCTicks)
+		}
+		sched, ws := s.buildScheduler(ch)
+		ctl := memctrl.New(channel, sched, cfg.ReadQ, cfg.WriteQ, cfg.HighWM, cfg.LowWM)
+		ctl.WriteAgeDrain = cfg.WriteAgeDrain
+		if cfg.Scheduler == "sbwas" {
+			ctl.Writes = memctrl.Interleaved
+		}
+		p := &partition{
+			id: ch,
+			l2: cache.New(cache.Config{
+				SizeBytes: cfg.L2SliceSize, LineBytes: cfg.LineBytes,
+				Ways: cfg.L2Ways, MSHRs: cfg.L2MSHRs,
+			}),
+			ctl: ctl, ws: ws, x: s.x, col: s.Col,
+			pipeCap: cfg.L2PipeDepth,
+			mapper:  s.Mapper, mshrCap: cfg.L2MSHRs, l2Lat: cfg.L2Lat,
+			nextID:    s.nextID,
+			noCredits: cfg.Ablation == "no-credits",
+			cmdLog:    cfg.CmdLog,
+		}
+		ctl.OnReadDone = p.onReadDone
+		s.parts = append(s.parts, p)
+	}
+
+	for id := 0; id < cfg.NumSMs; id++ {
+		smCfg := sm.Config{
+			ID:     id,
+			Mapper: s.Mapper,
+			L1: cache.Config{
+				SizeBytes: cfg.L1SizeBytes, LineBytes: cfg.LineBytes,
+				Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs,
+			},
+			L1Lat:             cfg.L1Lat,
+			WarpSize:          cfg.WarpSize,
+			LRR:               cfg.WarpSched == "lrr",
+			ZeroDivergence:    cfg.ZeroDivergence,
+			PerfectCoalescing: cfg.PerfectCoalescing,
+			NextID:            s.nextID,
+			Collector:         s.Col,
+		}
+		smID := id
+		smCfg.Inject = func(r *memreq.Request, now int64) bool {
+			return s.x.Inject(smID, r, now)
+		}
+		s.sms = append(s.sms, sm.New(smCfg, w.Programs[id]))
+		s.pops = append(s.pops, func() *memreq.Request {
+			return s.x.PopResponse(smID, s.now)
+		})
+	}
+	return s, nil
+}
+
+func (s *System) nextID() uint64 {
+	s.reqID++
+	return s.reqID
+}
+
+func (s *System) buildScheduler(ch int) (memctrl.Scheduler, *core.WarpScheduler) {
+	cfg := s.Cfg
+	ablate := func(w *core.WarpScheduler) (memctrl.Scheduler, *core.WarpScheduler) {
+		w.AgeThresh = cfg.AgeThresh
+		w.CountScore = cfg.Ablation == "count-score"
+		w.NoOrphanControl = cfg.Ablation == "no-orphan"
+		return w, w
+	}
+	switch cfg.Scheduler {
+	case "gmc":
+		g := memctrl.NewGMC()
+		g.AgeThresh = cfg.AgeThresh
+		return g, nil
+	case "fcfs", "wafcfs":
+		return memctrl.NewFCFS(), nil
+	case "frfcfs":
+		return memctrl.NewFRFCFS(), nil
+	case "sbwas":
+		return memctrl.NewSBWAS(cfg.SBWASAlpha), nil
+	case "parbs":
+		return memctrl.NewPARBS(), nil
+	case "atlas":
+		return memctrl.NewATLAS(s.atlas), nil
+	case "wg":
+		return ablate(core.New())
+	case "wg-m":
+		return ablate(core.New(core.WithCoordination(s.net, ch)))
+	case "wg-bw":
+		return ablate(core.New(core.WithCoordination(s.net, ch), core.WithMERB()))
+	case "wg-w":
+		return ablate(core.New(core.WithCoordination(s.net, ch), core.WithMERB(), core.WithWriteAware()))
+	case "wg-sh":
+		return ablate(core.New(core.WithCoordination(s.net, ch), core.WithMERB(),
+			core.WithWriteAware(), core.WithSharedPriority()))
+	}
+	panic("gpu: unknown scheduler " + cfg.Scheduler)
+}
+
+// Run executes the simulation until every warp retires or MaxTicks elapse.
+// Kernel time (Results.Ticks) is the tick at which the last warp retired;
+// the write-back tail left in the memory system is not part of it, matching
+// the paper's IPC measurement.
+func (s *System) Run() Results {
+	doneTick := int64(-1)
+	for s.now = 0; s.now < s.Cfg.MaxTicks; s.now++ {
+		now := s.now
+		for i, c := range s.sms {
+			c.Tick(now, s.pops[i])
+		}
+		for _, p := range s.parts {
+			p.Tick(now)
+		}
+		all := true
+		for _, c := range s.sms {
+			if !c.Done() {
+				all = false
+				break
+			}
+		}
+		if all {
+			doneTick = now
+			break
+		}
+	}
+	return s.results(doneTick)
+}
+
+func (s *System) results(doneTick int64) Results {
+	r := Results{Scheduler: s.Cfg.Scheduler, Workload: s.name, Drained: doneTick >= 0}
+	if doneTick < 0 {
+		doneTick = s.now
+	}
+	r.Ticks = doneTick
+	for _, c := range s.sms {
+		r.Instr += c.InstrIssued
+	}
+	if r.Ticks > 0 {
+		r.IPC = float64(r.Instr) / float64(r.Ticks)
+	}
+	r.Summary = s.Col.Summarize()
+	r.GapP50 = s.Col.Percentile(50)
+	r.GapP90 = s.Col.Percentile(90)
+	r.GapP99 = s.Col.Percentile(99)
+
+	var l1h, l1m, l2h, l2m int64
+	var idle, act int64
+	for _, c := range s.sms {
+		l1h += c.L1.Hits
+		l1m += c.L1.Misses
+		idle += c.IdleTicks
+		act += c.ActiveTicks
+	}
+	if idle+act > 0 {
+		r.SMIdleFrac = float64(idle) / float64(idle+act)
+	}
+	var busy int64
+	for _, p := range s.parts {
+		st := p.ctl.Chan.Stats
+		r.DRAM.ACTs += st.ACTs
+		r.DRAM.PREs += st.PREs
+		r.DRAM.RDBursts += st.RDBursts
+		r.DRAM.WRBursts += st.WRBursts
+		r.DRAM.HitTxns += st.HitTxns
+		r.DRAM.MissTxns += st.MissTxns
+		r.DRAM.ReadTxns += st.ReadTxns
+		r.DRAM.WriteTxns += st.WriteTxns
+		r.DRAM.BusyTicks += st.BusyTicks
+		busy += st.BusyTicks
+		l2h += p.l2.Hits
+		l2m += p.l2.Misses
+		r.DrainsStarted += p.ctl.Stats.DrainsStarted
+		if p.ws != nil {
+			r.DrainStalledGroups += p.ws.Stats.DrainStalledGroups
+			r.DrainStalledUnitOrOrphan += p.ws.Stats.DrainStalledUnitOrOrphan
+			r.CoordMessages += p.ws.Stats.CoordSent
+			r.CoordApplied += p.ws.Stats.CoordApplied
+			r.CoordSoleBlocker += p.ws.Stats.CoordSoleBlocker
+			r.GroupsSelected += p.ws.Stats.GroupsSelected
+			r.MERBFillers += p.ws.Stats.MERBFillers + p.ws.Stats.OrphanRideAlongs
+			r.UnitRush += p.ws.Stats.UnitRushDispatches
+		}
+	}
+	if r.Ticks > 0 {
+		r.Utilization = float64(busy) / float64(int64(s.Cfg.NumChannels)*r.Ticks)
+	}
+	r.RowHitRate = r.DRAM.RowHitRate()
+	if l1h+l1m > 0 {
+		r.L1HitRate = float64(l1h) / float64(l1h+l1m)
+	}
+	if l2h+l2m > 0 {
+		r.L2HitRate = float64(l2h) / float64(l2h+l2m)
+	}
+	if tot := r.DRAM.RDBursts + r.DRAM.WRBursts; tot > 0 {
+		r.WriteFrac = float64(r.DRAM.WRBursts) / float64(tot)
+	}
+	return r
+}

@@ -1,0 +1,189 @@
+package memctrl
+
+import "dramlat/internal/memreq"
+
+// GMC is the throughput-optimized baseline GPU memory controller scheduler
+// of Section II-C. The row sorter forms row-hit streams per bank; the
+// transaction scheduler picks a stream per bank and interleaves banks,
+// bounded by an age-based starvation threshold and a maximum row-hit streak
+// limit.
+type GMC struct {
+	ctl *Controller
+	rs  *RowSorter
+
+	// AgeThresh is the starvation guard: when the oldest pending request
+	// of a bank has waited this long, its stream is served next even if
+	// the active stream still has row hits.
+	AgeThresh int64
+	// MaxStreak caps the number of consecutive requests served from one
+	// row-hit stream while other streams wait on the same bank.
+	MaxStreak int
+
+	streak []int // per-bank current row-hit streak
+	rrBank int
+}
+
+// NewGMC returns the baseline scheduler with the default starvation
+// parameters.
+func NewGMC() *GMC { return &GMC{AgeThresh: 2000, MaxStreak: 16} }
+
+// Name implements Scheduler.
+func (g *GMC) Name() string { return "gmc" }
+
+// Attach implements Scheduler.
+func (g *GMC) Attach(ctl *Controller) {
+	g.ctl = ctl
+	g.rs = NewRowSorter(ctl.Chan.NumBanks)
+	g.streak = make([]int, ctl.Chan.NumBanks)
+}
+
+// OnEnqueue implements Scheduler.
+func (g *GMC) OnEnqueue(r *memreq.Request, now int64) { g.rs.Add(r, now) }
+
+// GroupComplete implements Scheduler (the GMC is not warp-aware).
+func (g *GMC) GroupComplete(memreq.GroupID, int64) {}
+
+// Pending implements Scheduler.
+func (g *GMC) Pending() int { return g.rs.Count() }
+
+// NextRead implements Scheduler: round-robin across banks; within a bank,
+// keep streaming row hits from the stream matching the projected open row
+// until the streak cap or the age threshold forces a switch to the oldest
+// stream.
+func (g *GMC) NextRead(now int64) *memreq.Request {
+	nb := g.ctl.Chan.NumBanks
+	for i := 0; i < nb; i++ {
+		bank := (g.rrBank + i) % nb
+		if len(g.rs.perBank[bank]) == 0 || !g.ctl.Chan.CanAccept(bank) {
+			continue
+		}
+		s := g.pickStream(bank, now)
+		if s == nil {
+			continue
+		}
+		hit := s.row == g.ctl.Chan.SchedRow(bank)
+		if hit {
+			g.streak[bank]++
+		} else {
+			g.streak[bank] = 1
+		}
+		g.rrBank = (bank + 1) % nb
+		return g.rs.PopFrom(s)
+	}
+	return nil
+}
+
+func (g *GMC) pickStream(bank int, now int64) *stream {
+	active := g.rs.StreamFor(bank, g.ctl.Chan.SchedRow(bank))
+	oldest := g.rs.OldestStream(bank)
+	if oldest == nil {
+		return nil
+	}
+	if active == nil || len(active.reqs) == 0 {
+		return oldest
+	}
+	if active != oldest {
+		// Starvation guards: an aged-out older request, or an
+		// exhausted streak budget, preempts the row-hit stream.
+		if now-oldest.oldestArrive() > g.AgeThresh {
+			return oldest
+		}
+		if g.streak[bank] >= g.MaxStreak {
+			return oldest
+		}
+	}
+	return active
+}
+
+// FRFCFS is the classic First-Ready, First-Come-First-Served scheduler
+// (Rixner et al. [42]): the oldest row hit on any ready bank wins; with no
+// hits, the oldest request wins.
+type FRFCFS struct {
+	ctl *Controller
+	rs  *RowSorter
+}
+
+// NewFRFCFS returns an FR-FCFS scheduler.
+func NewFRFCFS() *FRFCFS { return &FRFCFS{} }
+
+// Name implements Scheduler.
+func (f *FRFCFS) Name() string { return "frfcfs" }
+
+// Attach implements Scheduler.
+func (f *FRFCFS) Attach(ctl *Controller) {
+	f.ctl = ctl
+	f.rs = NewRowSorter(ctl.Chan.NumBanks)
+}
+
+// OnEnqueue implements Scheduler.
+func (f *FRFCFS) OnEnqueue(r *memreq.Request, now int64) { f.rs.Add(r, now) }
+
+// GroupComplete implements Scheduler.
+func (f *FRFCFS) GroupComplete(memreq.GroupID, int64) {}
+
+// Pending implements Scheduler.
+func (f *FRFCFS) Pending() int { return f.rs.Count() }
+
+// NextRead implements Scheduler.
+func (f *FRFCFS) NextRead(now int64) *memreq.Request {
+	var bestHit, bestAny *stream
+	for bank := range f.rs.perBank {
+		if !f.ctl.Chan.CanAccept(bank) {
+			continue
+		}
+		if s := f.rs.StreamFor(bank, f.ctl.Chan.SchedRow(bank)); s != nil {
+			if bestHit == nil || s.oldestArrive() < bestHit.oldestArrive() {
+				bestHit = s
+			}
+		}
+		if s := f.rs.OldestStream(bank); s != nil {
+			if bestAny == nil || s.oldestArrive() < bestAny.oldestArrive() {
+				bestAny = s
+			}
+		}
+	}
+	if bestHit != nil {
+		return f.rs.PopFrom(bestHit)
+	}
+	if bestAny != nil {
+		return f.rs.PopFrom(bestAny)
+	}
+	return nil
+}
+
+// FCFS services reads strictly in arrival order; the head of line blocks
+// when its bank's command queue is full. Combined with the
+// non-interleaving interconnect mode it models the WAFCFS comparator of
+// Yuan et al. [51] (Section VI-C2).
+type FCFS struct {
+	ctl *Controller
+	q   []*memreq.Request
+}
+
+// NewFCFS returns a strict first-come-first-served scheduler.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Scheduler.
+func (f *FCFS) Name() string { return "fcfs" }
+
+// Attach implements Scheduler.
+func (f *FCFS) Attach(ctl *Controller) { f.ctl = ctl }
+
+// OnEnqueue implements Scheduler.
+func (f *FCFS) OnEnqueue(r *memreq.Request, _ int64) { f.q = append(f.q, r) }
+
+// GroupComplete implements Scheduler.
+func (f *FCFS) GroupComplete(memreq.GroupID, int64) {}
+
+// Pending implements Scheduler.
+func (f *FCFS) Pending() int { return len(f.q) }
+
+// NextRead implements Scheduler.
+func (f *FCFS) NextRead(int64) *memreq.Request {
+	if len(f.q) == 0 || !f.ctl.Chan.CanAccept(f.q[0].Bank) {
+		return nil
+	}
+	r := f.q[0]
+	f.q = f.q[1:]
+	return r
+}

@@ -1,0 +1,313 @@
+// Package memctrl implements the GPU memory controller (GMC) frame of
+// Section II-C: read and write queues, watermark-based write draining, and
+// a pluggable transaction scheduler. The baseline schedulers — the
+// throughput-optimized GMC row-sorter scheduler, FCFS, FR-FCFS, and the
+// SBWAS comparator of Section VI-C — live here; the paper's warp-aware
+// schedulers build on this frame in internal/core.
+package memctrl
+
+import (
+	"dramlat/internal/dram"
+	"dramlat/internal/memreq"
+)
+
+// WritePolicy selects how writes reach DRAM.
+type WritePolicy uint8
+
+const (
+	// DrainBatch is the commonly used high/low-watermark batch drain
+	// (Section II-C): writes are buffered and drained in bursts to avoid
+	// frequent bus turnarounds.
+	DrainBatch WritePolicy = iota
+	// Interleaved services writes alongside reads with no batching, as
+	// SBWAS does (Section VI-C1). It suffers frequent tWTR/tRTW
+	// turnaround penalties.
+	Interleaved
+)
+
+// Scheduler is a transaction scheduler: it owns the read-queue contents and
+// decides which read request to dispatch to DRAM next.
+type Scheduler interface {
+	// Name identifies the policy ("gmc", "wg-w", ...).
+	Name() string
+	// Attach wires the scheduler to its controller before use.
+	Attach(ctl *Controller)
+	// OnEnqueue accepts a read request into the scheduler's structures.
+	OnEnqueue(r *memreq.Request, now int64)
+	// GroupComplete signals that no further requests of group g will
+	// arrive at this controller (the group's channel-tagged request was
+	// filtered by an L2 hit or MSHR merge). Schedulers that do not track
+	// groups ignore it.
+	GroupComplete(g memreq.GroupID, now int64)
+	// NextRead removes and returns the next read to dispatch, or nil.
+	// The returned request's bank must satisfy ctl.Chan.CanAccept.
+	NextRead(now int64) *memreq.Request
+	// Pending returns the number of reads held by the scheduler.
+	Pending() int
+}
+
+// DrainObserver is implemented by schedulers that want to observe write
+// drains beginning (used for the Fig 12 accounting in the WG schedulers).
+type DrainObserver interface {
+	OnDrainStart(now int64)
+}
+
+// SharedDemandObserver is implemented by schedulers that react to the L2
+// merging another warp's miss into a group's in-flight request (the
+// shared-data extension from the paper's conclusion).
+type SharedDemandObserver interface {
+	OnSharedDemand(g memreq.GroupID, now int64)
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	ReadsAccepted     int64
+	WritesAccepted    int64
+	ReadsDone         int64
+	WritesDone        int64
+	DrainsStarted     int64
+	DrainTicks        int64
+	ReadQFullRejects  int64
+	WriteQFullRejects int64
+	// GroupCompleteSignals counts zero-cost group-credit messages from
+	// the L2 slice.
+	GroupCompleteSignals int64
+}
+
+// Controller is one per-channel GPU memory controller.
+type Controller struct {
+	Chan  *dram.Channel
+	Sched Scheduler
+
+	ReadCap  int // read queue entries (64 in Table II)
+	WriteCap int // write queue entries (64 in Table II)
+	HighWM   int // drain trigger (32)
+	LowWM    int // drain release (16)
+	Writes   WritePolicy
+	// WriteAgeDrain starts a drain when the oldest buffered write has
+	// waited this many ticks even though the high watermark has not been
+	// reached, so write-light workloads cannot park the queue just below
+	// the watermark forever. Zero disables the age trigger.
+	WriteAgeDrain int64
+
+	readCount   int
+	writeQ      []*memreq.Request
+	draining    bool
+	drainTarget int  // occupancy at which the current drain releases
+	wrAlt       bool // interleaved mode: alternate read/write
+
+	// OnReadDone fires when a read's data transfer completes.
+	OnReadDone func(r *memreq.Request, now int64)
+	// OnWriteDone fires when a write's data transfer completes.
+	OnWriteDone func(r *memreq.Request, now int64)
+
+	Stats Stats
+}
+
+// New builds a controller around ch with the given scheduler and Table II
+// queue parameters.
+func New(ch *dram.Channel, sched Scheduler, readCap, writeCap, highWM, lowWM int) *Controller {
+	ctl := &Controller{
+		Chan:     ch,
+		Sched:    sched,
+		ReadCap:  readCap,
+		WriteCap: writeCap,
+		HighWM:   highWM,
+		LowWM:    lowWM,
+	}
+	ch.OnComplete = ctl.onComplete
+	sched.Attach(ctl)
+	return ctl
+}
+
+func (ctl *Controller) onComplete(txn *dram.Transaction, now int64) {
+	r := txn.Req
+	r.Done = now
+	if r.Kind == memreq.Write {
+		ctl.Stats.WritesDone++
+		if ctl.OnWriteDone != nil {
+			ctl.OnWriteDone(r, now)
+		}
+		return
+	}
+	ctl.Stats.ReadsDone++
+	if ctl.OnReadDone != nil {
+		ctl.OnReadDone(r, now)
+	}
+}
+
+// ReadOccupancy returns the number of reads buffered (scheduler-held).
+func (ctl *Controller) ReadOccupancy() int { return ctl.readCount }
+
+// WriteOccupancy returns the number of buffered writes.
+func (ctl *Controller) WriteOccupancy() int { return len(ctl.writeQ) }
+
+// Draining reports whether a write drain is in progress.
+func (ctl *Controller) Draining() bool { return ctl.draining }
+
+// DrainImminent reports whether the write queue occupancy is within eight
+// entries of the high water mark — the WG-W trigger (Section IV-E).
+func (ctl *Controller) DrainImminent() bool {
+	return ctl.Writes == DrainBatch && len(ctl.writeQ) >= ctl.HighWM-8
+}
+
+// AcceptRead offers a read request to the controller. It returns false
+// (back-pressure) when the read queue is full.
+func (ctl *Controller) AcceptRead(r *memreq.Request, now int64) bool {
+	if r.BusOnly {
+		// Zero-Latency-Divergence ideal: trailing requests bypass the
+		// scheduler and banks, consuming only bus bandwidth (Fig 4).
+		r.Arrive = now
+		ctl.Stats.ReadsAccepted++
+		ctl.Chan.EnqueueBusOnly(r)
+		return true
+	}
+	if ctl.readCount >= ctl.ReadCap {
+		ctl.Stats.ReadQFullRejects++
+		return false
+	}
+	ctl.readCount++
+	r.Arrive = now
+	ctl.Stats.ReadsAccepted++
+	ctl.Sched.OnEnqueue(r, now)
+	return true
+}
+
+// AcceptWrite offers a write request to the controller. It returns false
+// when the write queue is full.
+func (ctl *Controller) AcceptWrite(r *memreq.Request, now int64) bool {
+	if len(ctl.writeQ) >= ctl.WriteCap {
+		ctl.Stats.WriteQFullRejects++
+		return false
+	}
+	r.Arrive = now
+	ctl.writeQ = append(ctl.writeQ, r)
+	ctl.Stats.WritesAccepted++
+	return true
+}
+
+// SharedDemand notifies the scheduler that group g's in-flight line just
+// picked up another warp's demand at the L2.
+func (ctl *Controller) SharedDemand(g memreq.GroupID, now int64) {
+	if o, ok := ctl.Sched.(SharedDemandObserver); ok {
+		o.OnSharedDemand(g, now)
+	}
+}
+
+// GroupComplete forwards an L2 group-credit to the scheduler.
+func (ctl *Controller) GroupComplete(g memreq.GroupID, now int64) {
+	ctl.Stats.GroupCompleteSignals++
+	ctl.Sched.GroupComplete(g, now)
+}
+
+// nextWrite picks the next write to dispatch: the oldest projected row hit
+// if any, else the oldest write whose bank has command-queue space.
+func (ctl *Controller) nextWrite() *memreq.Request {
+	hit, any := -1, -1
+	for i, w := range ctl.writeQ {
+		if !ctl.Chan.CanAccept(w.Bank) {
+			continue
+		}
+		if any == -1 {
+			any = i
+		}
+		if ctl.Chan.ProjectHit(w.Bank, w.Row) {
+			hit = i
+			break // oldest hit wins
+		}
+	}
+	idx := hit
+	if idx == -1 {
+		idx = any
+	}
+	if idx == -1 {
+		return nil
+	}
+	w := ctl.writeQ[idx]
+	ctl.writeQ = append(ctl.writeQ[:idx], ctl.writeQ[idx+1:]...)
+	return w
+}
+
+// dispatchRead asks the scheduler for a read and enqueues it to DRAM.
+func (ctl *Controller) dispatchRead(now int64) bool {
+	r := ctl.Sched.NextRead(now)
+	if r == nil {
+		return false
+	}
+	if !ctl.Chan.CanAccept(r.Bank) {
+		panic("memctrl: scheduler returned read for full bank " + r.String())
+	}
+	ctl.readCount--
+	ctl.Chan.Enqueue(r)
+	return true
+}
+
+// Tick advances the controller one cycle: it updates the drain state
+// machine, dispatches at most one transaction to the DRAM command queues,
+// and issues at most one DRAM command, which it returns for tracing (nil
+// when the command bus idles).
+func (ctl *Controller) Tick(now int64) *dram.Command {
+	switch ctl.Writes {
+	case DrainBatch:
+		if !ctl.draining {
+			aged := ctl.WriteAgeDrain > 0 && len(ctl.writeQ) > 0 &&
+				now-ctl.writeQ[0].Arrive > ctl.WriteAgeDrain
+			idle := len(ctl.writeQ) > 0 && ctl.readCount == 0 && ctl.Chan.Idle()
+			if len(ctl.writeQ) >= ctl.HighWM || aged || idle {
+				ctl.draining = true
+				// Watermark drains stop at the low watermark;
+				// age/idle drains flush the queue so stale writes
+				// cannot re-trigger a turnaround every few ticks.
+				ctl.drainTarget = ctl.LowWM
+				if aged || idle {
+					ctl.drainTarget = 0
+				}
+				ctl.Stats.DrainsStarted++
+				if obs, ok := ctl.Sched.(DrainObserver); ok {
+					obs.OnDrainStart(now)
+				}
+			}
+		} else if len(ctl.writeQ) <= ctl.drainTarget {
+			ctl.draining = false
+		}
+		if ctl.draining {
+			ctl.Stats.DrainTicks++
+			if w := ctl.nextWrite(); w != nil {
+				ctl.Chan.Enqueue(w)
+			}
+		} else {
+			ctl.dispatchRead(now)
+		}
+	case Interleaved:
+		// Writes compete with reads without batch draining (Section
+		// VI-C1): once a handful of writes are buffered they alternate
+		// with reads, exposing the bus-turnaround cost that the
+		// batch-drain policy avoids.
+		tryWrite := ctl.wrAlt && len(ctl.writeQ) >= 4
+		if len(ctl.writeQ) >= ctl.WriteCap-1 ||
+			(len(ctl.writeQ) > 0 && ctl.readCount == 0) {
+			tryWrite = true
+		}
+		if tryWrite {
+			if w := ctl.nextWrite(); w != nil {
+				ctl.Chan.Enqueue(w)
+				ctl.wrAlt = false
+			} else if ctl.dispatchRead(now) {
+				ctl.wrAlt = true
+			}
+		} else {
+			if ctl.dispatchRead(now) {
+				ctl.wrAlt = true
+			} else if w := ctl.nextWrite(); w != nil {
+				ctl.Chan.Enqueue(w)
+				ctl.wrAlt = false
+			}
+		}
+	}
+	return ctl.Chan.Tick(now)
+}
+
+// Idle reports whether the controller holds no work at all.
+func (ctl *Controller) Idle() bool {
+	return ctl.readCount == 0 && len(ctl.writeQ) == 0 && ctl.Chan.Idle()
+}

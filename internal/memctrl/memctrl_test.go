@@ -1,0 +1,431 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramlat/internal/dram"
+	"dramlat/internal/gddr5"
+	"dramlat/internal/memreq"
+)
+
+func newCtl(sched Scheduler) *Controller {
+	ch := dram.NewChannel(gddr5.Default(), 16, 4, 4)
+	return New(ch, sched, 64, 64, 32, 16)
+}
+
+var reqID uint64
+
+func rd(bank, row, col int, g memreq.GroupID) *memreq.Request {
+	reqID++
+	return &memreq.Request{ID: reqID, Kind: memreq.Read, Bank: bank, Row: row, Col: col, Group: g}
+}
+
+func wr(bank, row, col int) *memreq.Request {
+	reqID++
+	return &memreq.Request{ID: reqID, Kind: memreq.Write, Bank: bank, Row: row, Col: col}
+}
+
+func runUntilIdle(t *testing.T, ctl *Controller, start int64, bound int64) int64 {
+	t.Helper()
+	now := start
+	for ; now < bound; now++ {
+		ctl.Tick(now)
+		if ctl.Idle() {
+			return now
+		}
+	}
+	t.Fatalf("controller not idle after %d ticks (pending=%d writes=%d)",
+		bound, ctl.Sched.Pending(), ctl.WriteOccupancy())
+	return now
+}
+
+func TestGMCPrefersRowHits(t *testing.T) {
+	g := NewGMC()
+	ctl := newCtl(g)
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+
+	// Arrival order: miss(row1), miss(row2), hit(row1). GMC should
+	// reorder the row-1 hit ahead of the row-2 miss.
+	a := rd(0, 1, 0, memreq.GroupID{})
+	b := rd(0, 2, 0, memreq.GroupID{})
+	c := rd(0, 1, 4, memreq.GroupID{})
+	ctl.AcceptRead(a, 0)
+	ctl.AcceptRead(b, 1)
+	ctl.AcceptRead(c, 2)
+	runUntilIdle(t, ctl, 0, 10000)
+	if len(order) != 3 {
+		t.Fatalf("%d reads done", len(order))
+	}
+	if order[0] != a.ID || order[1] != c.ID || order[2] != b.ID {
+		t.Fatalf("completion order %v, want [a c b] = [%d %d %d]", order, a.ID, c.ID, b.ID)
+	}
+	if ctl.Chan.Stats.HitTxns != 1 {
+		t.Fatalf("hits = %d, want 1", ctl.Chan.Stats.HitTxns)
+	}
+}
+
+func TestGMCStreakCapPreemptsStream(t *testing.T) {
+	g := NewGMC()
+	g.MaxStreak = 2
+	ctl := newCtl(g)
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+
+	// One row-2 miss, then a long row-1 stream. With MaxStreak=2 the
+	// miss must be serviced after at most 3 row-1 requests (the opener
+	// plus a streak of 2 hits).
+	miss := rd(0, 2, 0, memreq.GroupID{})
+	var hits []*memreq.Request
+	for i := 0; i < 8; i++ {
+		hits = append(hits, rd(0, 1, i*4%64, memreq.GroupID{}))
+	}
+	ctl.AcceptRead(hits[0], 0)
+	ctl.AcceptRead(miss, 1)
+	for i := 1; i < len(hits); i++ {
+		ctl.AcceptRead(hits[i], int64(1+i))
+	}
+	runUntilIdle(t, ctl, 0, 20000)
+	pos := -1
+	for i, id := range order {
+		if id == miss.ID {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 3 {
+		t.Fatalf("miss serviced at position %d of %v, want <= 3", pos, order)
+	}
+}
+
+func TestGMCAgeThresholdPreempts(t *testing.T) {
+	g := NewGMC()
+	g.AgeThresh = 50
+	g.MaxStreak = 1 << 30 // disable streak cap; rely on age only
+	ctl := newCtl(g)
+	var doneAt = map[uint64]int64{}
+	ctl.OnReadDone = func(r *memreq.Request, now int64) { doneAt[r.ID] = now }
+
+	miss := rd(0, 2, 0, memreq.GroupID{})
+	ctl.AcceptRead(rd(0, 1, 0, memreq.GroupID{}), 0)
+	ctl.AcceptRead(miss, 0)
+	// Keep refilling row-1 hits as the sim runs.
+	now := int64(0)
+	injected := 0
+	for ; now < 3000; now++ {
+		if injected < 40 && ctl.ReadOccupancy() < 60 {
+			ctl.AcceptRead(rd(0, 1, injected*4%64, memreq.GroupID{}), now)
+			injected++
+		}
+		ctl.Tick(now)
+		if _, ok := doneAt[miss.ID]; ok {
+			break
+		}
+	}
+	if _, ok := doneAt[miss.ID]; !ok {
+		t.Fatal("aged miss starved by endless row-hit stream")
+	}
+	if doneAt[miss.ID] > 500 {
+		t.Fatalf("aged miss done at %d, want soon after age threshold 50", doneAt[miss.ID])
+	}
+}
+
+func TestFCFSStrictOrder(t *testing.T) {
+	ctl := newCtl(NewFCFS())
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+	a := rd(0, 1, 0, memreq.GroupID{})
+	b := rd(0, 2, 0, memreq.GroupID{})
+	c := rd(0, 1, 4, memreq.GroupID{})
+	ctl.AcceptRead(a, 0)
+	ctl.AcceptRead(b, 1)
+	ctl.AcceptRead(c, 2)
+	runUntilIdle(t, ctl, 0, 10000)
+	if order[0] != a.ID || order[1] != b.ID || order[2] != c.ID {
+		t.Fatalf("completion order %v, want strict arrival order", order)
+	}
+	// FCFS pays for it: row 1 is reopened, so 3 misses total.
+	if ctl.Chan.Stats.MissTxns != 3 {
+		t.Fatalf("misses = %d, want 3", ctl.Chan.Stats.MissTxns)
+	}
+}
+
+func TestFRFCFSOldestHitFirst(t *testing.T) {
+	ctl := newCtl(NewFRFCFS())
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+	a := rd(3, 5, 0, memreq.GroupID{}) // opens row 5
+	b := rd(3, 6, 0, memreq.GroupID{}) // miss
+	c := rd(3, 5, 4, memreq.GroupID{}) // hit on open row, younger than b
+	ctl.AcceptRead(a, 0)
+	ctl.AcceptRead(b, 1)
+	ctl.AcceptRead(c, 2)
+	runUntilIdle(t, ctl, 0, 10000)
+	if order[1] != c.ID {
+		t.Fatalf("completion order %v: FR-FCFS should serve the hit %d second", order, c.ID)
+	}
+}
+
+func TestWriteDrainWatermarks(t *testing.T) {
+	ctl := newCtl(NewGMC())
+	// Fill to one below the high water mark: no drain (reads pending).
+	ctl.AcceptRead(rd(0, 1, 0, memreq.GroupID{}), 0)
+	for i := 0; i < ctl.HighWM-1; i++ {
+		if !ctl.AcceptWrite(wr(i%16, 3, 0), 0) {
+			t.Fatal("write rejected below cap")
+		}
+	}
+	ctl.Tick(0)
+	if ctl.Draining() {
+		t.Fatal("drain started below high watermark with reads pending")
+	}
+	// Cross the high water mark.
+	ctl.AcceptWrite(wr(0, 3, 4), 1)
+	ctl.Tick(1)
+	if !ctl.Draining() {
+		t.Fatal("drain did not start at high watermark")
+	}
+	// Drain must stop at the low watermark.
+	now := int64(2)
+	for ; now < 50000 && ctl.Draining(); now++ {
+		ctl.Tick(now)
+	}
+	if ctl.Draining() {
+		t.Fatal("drain never released")
+	}
+	if got := ctl.WriteOccupancy(); got != ctl.LowWM {
+		t.Fatalf("write occupancy after drain = %d, want %d", got, ctl.LowWM)
+	}
+	if ctl.Stats.DrainsStarted != 1 {
+		t.Fatalf("drains started = %d", ctl.Stats.DrainsStarted)
+	}
+}
+
+func TestIdleWriteDrain(t *testing.T) {
+	// With no reads at all, buffered writes must still drain.
+	ctl := newCtl(NewGMC())
+	for i := 0; i < 5; i++ {
+		ctl.AcceptWrite(wr(i, 2, 0), 0)
+	}
+	runUntilIdle(t, ctl, 0, 50000)
+	if ctl.Stats.WritesDone != 5 {
+		t.Fatalf("writes done = %d, want 5", ctl.Stats.WritesDone)
+	}
+}
+
+func TestDrainImminent(t *testing.T) {
+	ctl := newCtl(NewGMC())
+	for i := 0; i < ctl.HighWM-8; i++ {
+		ctl.AcceptWrite(wr(i%16, 1, 0), 0)
+	}
+	if !ctl.DrainImminent() {
+		t.Fatal("DrainImminent false at highWM-8")
+	}
+	ctl2 := newCtl(NewGMC())
+	for i := 0; i < ctl2.HighWM-9; i++ {
+		ctl2.AcceptWrite(wr(i%16, 1, 0), 0)
+	}
+	if ctl2.DrainImminent() {
+		t.Fatal("DrainImminent true below highWM-8")
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	ctl := newCtl(NewGMC())
+	for i := 0; i < ctl.ReadCap; i++ {
+		if !ctl.AcceptRead(rd(i%16, i, 0, memreq.GroupID{}), 0) {
+			t.Fatalf("read %d rejected below cap", i)
+		}
+	}
+	if ctl.AcceptRead(rd(0, 0, 0, memreq.GroupID{}), 0) {
+		t.Fatal("read accepted past cap")
+	}
+	if ctl.Stats.ReadQFullRejects != 1 {
+		t.Fatalf("rejects = %d", ctl.Stats.ReadQFullRejects)
+	}
+	for i := 0; i < ctl.WriteCap; i++ {
+		if !ctl.AcceptWrite(wr(i%16, i, 0), 0) {
+			t.Fatalf("write %d rejected below cap", i)
+		}
+	}
+	if ctl.AcceptWrite(wr(0, 0, 0), 0) {
+		t.Fatal("write accepted past cap")
+	}
+}
+
+func TestSBWASShortWarpPreempts(t *testing.T) {
+	s := NewSBWAS(0.75)
+	ctl := newCtl(s)
+	ctl.Writes = Interleaved
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+
+	bigWarp := memreq.GroupID{SM: 0, Warp: 0, Load: 1}
+	smallWarp := memreq.GroupID{SM: 0, Warp: 1, Load: 1}
+	// Big warp: 6 row-1 hits. Small warp: 1 row-9 miss (1 outstanding).
+	var big []*memreq.Request
+	for i := 0; i < 6; i++ {
+		big = append(big, rd(0, 1, i*4%64, bigWarp))
+	}
+	small := rd(0, 9, 0, smallWarp)
+	ctl.AcceptRead(big[0], 0)
+	for i := 1; i < len(big); i++ {
+		ctl.AcceptRead(big[i], int64(i))
+	}
+	ctl.AcceptRead(small, 6)
+	runUntilIdle(t, ctl, 0, 20000)
+	pos := -1
+	for i, id := range order {
+		if id == small.ID {
+			pos = i
+		}
+	}
+	// With alpha=0.75 (cutoff 3 outstanding) the unit warp should
+	// preempt most of the big warp's stream.
+	if pos > 2 {
+		t.Fatalf("short warp serviced at position %d of %v", pos, order)
+	}
+}
+
+func TestSBWASAlphaCutoffs(t *testing.T) {
+	for alpha, want := range map[float64]int{0.25: 1, 0.5: 2, 0.75: 3} {
+		s := NewSBWAS(alpha)
+		if got := s.shortJobCutoff(); got != want {
+			t.Errorf("alpha %.2f: cutoff %d, want %d", alpha, got, want)
+		}
+	}
+}
+
+func TestInterleavedWritesAlternate(t *testing.T) {
+	s := NewSBWAS(0.5)
+	ctl := newCtl(s)
+	ctl.Writes = Interleaved
+	for i := 0; i < 10; i++ {
+		ctl.AcceptRead(rd(i%16, 1, 0, memreq.GroupID{SM: 0, Warp: uint16(i), Load: 1}), 0)
+		ctl.AcceptWrite(wr((i+8)%16, 2, 0), 0)
+	}
+	runUntilIdle(t, ctl, 0, 50000)
+	if ctl.Stats.ReadsDone != 10 || ctl.Stats.WritesDone != 10 {
+		t.Fatalf("done: %d reads %d writes", ctl.Stats.ReadsDone, ctl.Stats.WritesDone)
+	}
+	if ctl.Stats.DrainsStarted != 0 {
+		t.Fatal("interleaved policy used batch drains")
+	}
+}
+
+// Conservation property: under every scheduler, random traffic completes
+// every request exactly once and the controller goes idle.
+func TestConservationAllSchedulers(t *testing.T) {
+	mk := map[string]func() Scheduler{
+		"gmc":    func() Scheduler { return NewGMC() },
+		"fcfs":   func() Scheduler { return NewFCFS() },
+		"frfcfs": func() Scheduler { return NewFRFCFS() },
+		"sbwas":  func() Scheduler { return NewSBWAS(0.5) },
+	}
+	for name, f := range mk {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			sched := f()
+			ctl := newCtl(sched)
+			if name == "sbwas" {
+				ctl.Writes = Interleaved
+			}
+			done := map[uint64]int{}
+			ctl.OnReadDone = func(r *memreq.Request, _ int64) { done[r.ID]++ }
+			ctl.OnWriteDone = func(r *memreq.Request, _ int64) { done[r.ID]++ }
+			var ids []uint64
+			toInject := 400
+			now := int64(0)
+			for ; now < 1000000; now++ {
+				if toInject > 0 && rng.Intn(2) == 0 {
+					var r *memreq.Request
+					g := memreq.GroupID{SM: uint16(rng.Intn(4)), Warp: uint16(rng.Intn(8)), Load: uint32(rng.Intn(5) + 1)}
+					if rng.Intn(5) == 0 {
+						r = wr(rng.Intn(16), rng.Intn(8), rng.Intn(16)*4)
+						if ctl.AcceptWrite(r, now) {
+							ids = append(ids, r.ID)
+							toInject--
+						}
+					} else {
+						r = rd(rng.Intn(16), rng.Intn(8), rng.Intn(16)*4, g)
+						if ctl.AcceptRead(r, now) {
+							ids = append(ids, r.ID)
+							toInject--
+						}
+					}
+				}
+				ctl.Tick(now)
+				if toInject == 0 && ctl.Idle() {
+					break
+				}
+			}
+			if toInject > 0 || !ctl.Idle() {
+				t.Fatalf("%s seed %d: stuck (toInject=%d)", name, seed, toInject)
+			}
+			for _, id := range ids {
+				if done[id] != 1 {
+					t.Fatalf("%s seed %d: request %d completed %d times", name, seed, id, done[id])
+				}
+			}
+		}
+	}
+}
+
+func TestRowSorterBasics(t *testing.T) {
+	rs := NewRowSorter(16)
+	if rs.BanksPending() != 0 || rs.Count() != 0 {
+		t.Fatal("fresh sorter not empty")
+	}
+	a := rd(1, 5, 0, memreq.GroupID{})
+	a.Arrive = 10
+	b := rd(1, 5, 4, memreq.GroupID{})
+	b.Arrive = 20
+	c := rd(1, 6, 0, memreq.GroupID{})
+	c.Arrive = 5
+	rs.Add(a, 10)
+	rs.Add(b, 20)
+	rs.Add(c, 5)
+	if rs.Count() != 3 || rs.BanksPending() != 1 {
+		t.Fatalf("count=%d banks=%d", rs.Count(), rs.BanksPending())
+	}
+	if s := rs.StreamFor(1, 5); s == nil || len(s.reqs) != 2 {
+		t.Fatal("stream (1,5) wrong")
+	}
+	if s := rs.OldestStream(1); s.row != 6 {
+		t.Fatalf("oldest stream row %d, want 6 (arrive 5)", s.row)
+	}
+	got := rs.PopFrom(rs.StreamFor(1, 5))
+	if got != a {
+		t.Fatal("pop returned wrong request")
+	}
+	rs.PopFrom(rs.StreamFor(1, 5))
+	if rs.StreamFor(1, 5) != nil {
+		t.Fatal("empty stream not retired")
+	}
+	if rs.OldestHead(2) != 1<<62 {
+		t.Fatal("empty bank OldestHead sentinel wrong")
+	}
+}
+
+// Baseline scheduler overhead for comparison with the warp-aware path.
+func BenchmarkGMCNextRead(b *testing.B) {
+	g := NewGMC()
+	ctl := newCtl(g)
+	var n uint64
+	refill := func() {
+		for g.Pending() < 48 {
+			n++
+			ctl.AcceptRead(rd(int(n)%16, int(n)%8, int(n)%16*4, memreq.GroupID{}), 0)
+		}
+	}
+	refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.Tick(int64(i))
+		if g.Pending() < 16 {
+			b.StopTimer()
+			refill()
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramlat/internal/memreq"
+)
+
+func grd(bank, row, col int, sm, warp uint16) *memreq.Request {
+	reqID++
+	return &memreq.Request{
+		ID: reqID, Kind: memreq.Read, Bank: bank, Row: row, Col: col,
+		Group: memreq.GroupID{SM: sm, Warp: warp, Load: 1},
+	}
+}
+
+func TestPARBSBatchBoundary(t *testing.T) {
+	p := NewPARBS()
+	ctl := newCtl(p)
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+
+	// Batch 1: two requests. They must be fully serviced before a
+	// later-arriving row-hit request (which would win under FR-FCFS).
+	a := grd(0, 1, 0, 0, 0)
+	bq := grd(0, 2, 0, 0, 1)
+	ctl.AcceptRead(a, 0)
+	ctl.AcceptRead(bq, 0)
+	ctl.Tick(0)                // dispatches one; batch formed
+	late := grd(0, 1, 4, 0, 2) // row hit on a's row, but outside the batch
+	ctl.AcceptRead(late, 1)
+	runUntilIdle(t, ctl, 0, 40000)
+	if len(order) != 3 {
+		t.Fatalf("%d reads done", len(order))
+	}
+	if order[2] != late.ID {
+		t.Fatalf("batch boundary violated: %v (late=%d)", order, late.ID)
+	}
+}
+
+func TestPARBSShortestJobRanking(t *testing.T) {
+	p := NewPARBS()
+	ctl := newCtl(p)
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+
+	// Warp 0 has 4 requests on one bank (max load 4); warp 1 has 1.
+	// Within the batch, warp 1's request must be serviced before warp
+	// 0's remaining ones (after the unavoidable first dispatch).
+	var heavy []*memreq.Request
+	for i := 0; i < 4; i++ {
+		r := grd(0, 3+i, 0, 0, 0)
+		heavy = append(heavy, r)
+		ctl.AcceptRead(r, 0)
+	}
+	light := grd(0, 20, 0, 0, 1)
+	ctl.AcceptRead(light, 0)
+	runUntilIdle(t, ctl, 0, 60000)
+	pos := -1
+	for i, id := range order {
+		if id == light.ID {
+			pos = i
+		}
+	}
+	if pos > 1 {
+		t.Fatalf("light warp serviced at %d: %v", pos, order)
+	}
+}
+
+func TestPARBSMarkingCap(t *testing.T) {
+	p := NewPARBS()
+	p.MarkingCap = 2
+	ctl := newCtl(p)
+	for i := 0; i < 5; i++ {
+		ctl.AcceptRead(grd(0, i, 0, 0, 0), 0)
+	}
+	p.formBatch()
+	if len(p.batch) != 2 || len(p.queued) != 3 {
+		t.Fatalf("batch %d queued %d, want 2/3", len(p.batch), len(p.queued))
+	}
+}
+
+func TestPARBSConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := NewPARBS()
+	ctl := newCtl(p)
+	done := 0
+	ctl.OnReadDone = func(*memreq.Request, int64) { done++ }
+	total := 300
+	injected := 0
+	for now := int64(0); now < 500000; now++ {
+		if injected < total && rng.Intn(2) == 0 {
+			if ctl.AcceptRead(grd(rng.Intn(16), rng.Intn(8), 0, uint16(rng.Intn(3)), uint16(rng.Intn(8))), now) {
+				injected++
+			}
+		}
+		ctl.Tick(now)
+		if injected == total && ctl.Idle() {
+			break
+		}
+	}
+	if done != total {
+		t.Fatalf("done %d/%d", done, total)
+	}
+}
+
+func TestATLASRankingFavorsLeastService(t *testing.T) {
+	st := NewATLASState(1000)
+	a := NewATLAS(st)
+	ctl := newCtl(a)
+	var order []uint64
+	ctl.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+
+	// Give warp 0 lots of attained service, then rank.
+	st.note(warpKey{0, 0}, 100)
+	st.note(warpKey{0, 1}, 1)
+	st.maybeUpdate(0)
+	if st.rankOf(warpKey{0, 1}) >= st.rankOf(warpKey{0, 0}) {
+		t.Fatal("least-attained warp not ranked first")
+	}
+
+	// Warp 0 (served a lot) and warp 1 (starved) each have one request;
+	// warp 1 must win even though warp 0's request arrived first.
+	hog := grd(0, 1, 0, 0, 0)
+	starved := grd(1, 2, 0, 0, 1)
+	ctl.AcceptRead(hog, 1)
+	ctl.AcceptRead(starved, 2)
+	runUntilIdle(t, ctl, 0, 40000)
+	if order[0] != starved.ID {
+		t.Fatalf("ATLAS served the hog first: %v", order)
+	}
+}
+
+func TestATLASQuantumAging(t *testing.T) {
+	st := NewATLASState(100)
+	st.note(warpKey{0, 0}, 64)
+	st.maybeUpdate(0)
+	if st.attained[warpKey{0, 0}] != 32 {
+		t.Fatalf("attained not aged: %d", st.attained[warpKey{0, 0}])
+	}
+	// No update before the quantum elapses.
+	st.note(warpKey{0, 1}, 1)
+	st.maybeUpdate(50)
+	if _, ok := st.rank[warpKey{0, 1}]; ok {
+		t.Fatal("rank updated mid-quantum")
+	}
+	st.maybeUpdate(100)
+	if _, ok := st.rank[warpKey{0, 1}]; !ok {
+		t.Fatal("rank not updated at quantum boundary")
+	}
+}
+
+func TestATLASSharedAcrossControllers(t *testing.T) {
+	// Two controllers share one state: service noted at controller A
+	// must lower the warp's priority at controller B.
+	st := NewATLASState(10)
+	a := NewATLAS(st)
+	b := NewATLAS(st)
+	ctlA := newCtl(a)
+	_ = ctlA
+	ctlB := newCtl(b)
+	var order []uint64
+	ctlB.OnReadDone = func(r *memreq.Request, _ int64) { order = append(order, r.ID) }
+
+	st.note(warpKey{0, 0}, 50) // warp 0 got service "at controller A"
+	st.note(warpKey{0, 1}, 1)
+	st.maybeUpdate(0)
+	hog := grd(0, 1, 0, 0, 0)
+	starved := grd(1, 2, 0, 0, 1)
+	ctlB.AcceptRead(hog, 1)
+	ctlB.AcceptRead(starved, 2)
+	runUntilIdle(t, ctlB, 0, 40000)
+	if order[0] != starved.ID {
+		t.Fatalf("shared LAS state ignored: %v", order)
+	}
+}

@@ -1,0 +1,113 @@
+package memctrl
+
+import "dramlat/internal/memreq"
+
+// stream is one row-hit stream: the FIFO of pending requests to a single
+// <bank,row> tuple (one Row Sorter entry, Section II-C).
+type stream struct {
+	bank, row int
+	reqs      []*memreq.Request
+	created   int64 // arrival tick of the first request (stream age)
+}
+
+func (s *stream) oldestArrive() int64 {
+	if len(s.reqs) == 0 {
+		return 1 << 62
+	}
+	return s.reqs[0].Arrive
+}
+
+// RowSorter groups pending read requests into row-hit streams per bank. It
+// is the baseline GMC's sorting structure and is reused by FR-FCFS.
+type RowSorter struct {
+	byKey   map[[2]int]*stream
+	perBank [][]*stream // streams per bank in creation order
+	count   int
+}
+
+// NewRowSorter builds a sorter for numBanks banks.
+func NewRowSorter(numBanks int) *RowSorter {
+	return &RowSorter{
+		byKey:   make(map[[2]int]*stream),
+		perBank: make([][]*stream, numBanks),
+	}
+}
+
+// Add merges a request into its stream (creating the stream if needed).
+func (rs *RowSorter) Add(r *memreq.Request, now int64) {
+	key := [2]int{r.Bank, r.Row}
+	s, ok := rs.byKey[key]
+	if !ok {
+		s = &stream{bank: r.Bank, row: r.Row, created: now}
+		rs.byKey[key] = s
+		rs.perBank[r.Bank] = append(rs.perBank[r.Bank], s)
+	}
+	s.reqs = append(s.reqs, r)
+	rs.count++
+}
+
+// Count returns the number of buffered requests.
+func (rs *RowSorter) Count() int { return rs.count }
+
+// StreamFor returns the stream for (bank, row), or nil.
+func (rs *RowSorter) StreamFor(bank, row int) *stream {
+	return rs.byKey[[2]int{bank, row}]
+}
+
+// BanksPending returns the number of banks with at least one request.
+func (rs *RowSorter) BanksPending() int {
+	n := 0
+	for _, streams := range rs.perBank {
+		if len(streams) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OldestStream returns the bank's stream with the oldest head request.
+func (rs *RowSorter) OldestStream(bank int) *stream {
+	var best *stream
+	for _, s := range rs.perBank[bank] {
+		if len(s.reqs) == 0 {
+			continue
+		}
+		if best == nil || s.oldestArrive() < best.oldestArrive() {
+			best = s
+		}
+	}
+	return best
+}
+
+// OldestHead returns the arrival tick of the oldest request in the bank, or
+// a huge value when the bank is empty.
+func (rs *RowSorter) OldestHead(bank int) int64 {
+	s := rs.OldestStream(bank)
+	if s == nil {
+		return 1 << 62
+	}
+	return s.oldestArrive()
+}
+
+// PopFrom removes and returns the head request of stream s, retiring the
+// stream when it empties.
+func (rs *RowSorter) PopFrom(s *stream) *memreq.Request {
+	r := s.reqs[0]
+	s.reqs = s.reqs[1:]
+	rs.count--
+	if len(s.reqs) == 0 {
+		rs.retire(s)
+	}
+	return r
+}
+
+func (rs *RowSorter) retire(s *stream) {
+	delete(rs.byKey, [2]int{s.bank, s.row})
+	bank := rs.perBank[s.bank]
+	for i, e := range bank {
+		if e == s {
+			rs.perBank[s.bank] = append(bank[:i], bank[i+1:]...)
+			return
+		}
+	}
+}

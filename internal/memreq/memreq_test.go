@@ -1,0 +1,45 @@
+package memreq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatalf("kind strings: %q %q", Read, Write)
+	}
+}
+
+func TestGroupIDValidity(t *testing.T) {
+	if (GroupID{}).Valid() {
+		t.Fatal("zero group valid")
+	}
+	if (GroupID{SM: 3, Warp: 4}).Valid() {
+		t.Fatal("load==0 group valid (reserved for ungrouped traffic)")
+	}
+	g := GroupID{SM: 3, Warp: 4, Load: 1}
+	if !g.Valid() {
+		t.Fatal("real group invalid")
+	}
+	if got := g.String(); got != "sm3.w4.ld1" {
+		t.Fatalf("group string %q", got)
+	}
+	if got := (GroupID{}).String(); got != "ungrouped" {
+		t.Fatalf("zero group string %q", got)
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{
+		Kind: Read, Addr: 0x1f80,
+		Group:   GroupID{SM: 1, Warp: 2, Load: 3},
+		Channel: 4, Bank: 5, Row: 6, Col: 7,
+	}
+	s := r.String()
+	for _, want := range []string{"read", "0x1f80", "ch4", "b5", "r6", "c7", "sm1.w2.ld3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

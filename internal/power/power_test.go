@@ -1,0 +1,63 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"dramlat/internal/dram"
+)
+
+func TestZeroElapsed(t *testing.T) {
+	b := DefaultGDDR5().Estimate(dram.Stats{ACTs: 100}, 0, 6)
+	if b.TotalMW != 0 {
+		t.Fatalf("power for zero time: %+v", b)
+	}
+}
+
+func TestBackgroundScalesWithChannels(t *testing.T) {
+	m := DefaultGDDR5()
+	b1 := m.Estimate(dram.Stats{}, 1000, 1)
+	b6 := m.Estimate(dram.Stats{}, 1000, 6)
+	if math.Abs(b6.BackgroundMW-6*b1.BackgroundMW) > 1e-9 {
+		t.Fatalf("background %v vs %v", b6.BackgroundMW, b1.BackgroundMW)
+	}
+}
+
+func TestComponentsAdditive(t *testing.T) {
+	m := DefaultGDDR5()
+	s := dram.Stats{ACTs: 1e6, RDBursts: 4e6, WRBursts: 1e6}
+	b := m.Estimate(s, 10_000_000, 6)
+	sum := b.BackgroundMW + b.ActPreMW + b.ReadMW + b.WriteMW
+	if math.Abs(sum-b.TotalMW) > 1e-9 {
+		t.Fatalf("total %v != sum %v", b.TotalMW, sum)
+	}
+	if b.ActPreMW <= 0 || b.ReadMW <= 0 || b.WriteMW <= 0 {
+		t.Fatalf("non-positive components: %+v", b)
+	}
+}
+
+// The Section VI-B sensitivity: a 16% relative row-hit-rate drop (more
+// ACTs for the same data moved) must cost only a few percent of total
+// GDDR5 power — the I/O-dominated energy profile of the part.
+func TestRowMissSensitivitySmall(t *testing.T) {
+	m := DefaultGDDR5()
+	const txns = 8e6
+	const elapsed = 40_000_000 // moderately loaded channel set
+	mk := func(hitRate float64) dram.Stats {
+		miss := int64(txns * (1 - hitRate))
+		return dram.Stats{
+			ACTs:     miss,
+			RDBursts: int64(txns * 2 * 0.85),
+			WRBursts: int64(txns * 2 * 0.15),
+		}
+	}
+	base := m.Estimate(mk(0.50), elapsed, 6)
+	worse := m.Estimate(mk(0.50*0.84), elapsed, 6) // 16% lower hit rate
+	delta := (worse.TotalMW - base.TotalMW) / base.TotalMW
+	if delta <= 0 {
+		t.Fatalf("more misses did not cost power: %v", delta)
+	}
+	if delta > 0.05 {
+		t.Fatalf("power delta %.3f too large; paper reports ~1.8%%", delta)
+	}
+}

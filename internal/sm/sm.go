@@ -1,0 +1,410 @@
+// Package sm models the SIMT cores (Streaming Multiprocessors) of Section
+// II-A: each SM runs up to 32 warps of 32 threads in lockstep with a
+// greedy-then-oldest warp scheduler, coalesces each warp load/store into
+// 128B line requests, probes its private L1, and blocks a warp until the
+// last response of its load returns — the SIMT property that makes DRAM
+// latency divergence hurt.
+package sm
+
+import (
+	"dramlat/internal/addrmap"
+	"dramlat/internal/cache"
+	"dramlat/internal/coalesce"
+	"dramlat/internal/memreq"
+	"dramlat/internal/stats"
+)
+
+// InsnKind enumerates warp instruction kinds.
+type InsnKind uint8
+
+const (
+	// Compute is any non-memory warp instruction (1 issue slot).
+	Compute InsnKind = iota
+	// Load is a warp gather: per-lane addresses, blocking.
+	Load
+	// Store is a warp scatter: per-lane addresses, fire-and-forget.
+	Store
+)
+
+// Insn is one warp-wide instruction. Addrs holds the active lanes'
+// byte addresses for Load/Store (nil for Compute).
+type Insn struct {
+	Kind  InsnKind
+	Addrs []uint64
+}
+
+// Program is a warp's instruction sequence.
+type Program []Insn
+
+// Warp is one warp's execution state.
+type Warp struct {
+	ID   int
+	Prog Program
+
+	pc         int
+	readyAt    int64
+	blocked    bool
+	curLoad    uint32
+	loadSerial uint32
+	pending    map[uint32]int // outstanding responses per load serial
+	done       bool
+	DoneTick   int64
+	Issued     int64
+}
+
+// waiter records an L1 MSHR subscriber: a (warp, load) pair to credit when
+// the line fills.
+type waiter struct {
+	w    *Warp
+	load uint32
+	gid  memreq.GroupID
+}
+
+// Config wires an SM into the system.
+type Config struct {
+	ID       int
+	Mapper   *addrmap.Mapper
+	L1       cache.Config
+	L1Lat    int64 // L1 hit latency in ticks
+	WarpSize int
+
+	// LRR selects loose round-robin warp scheduling instead of the
+	// default greedy-then-oldest (GTO). GTO runs one warp until it
+	// stalls, concentrating each warp's loads in time; LRR spreads every
+	// warp's progress, putting more concurrent warp-groups in flight.
+	LRR bool
+
+	// ZeroDivergence unblocks a warp on the first response of its load
+	// (the Fig 4 "Zero Latency Divergence" ideal).
+	ZeroDivergence bool
+	// PerfectCoalescing truncates every load/store to one line (the
+	// Fig 4 "Perfect Coalescing" ideal).
+	PerfectCoalescing bool
+
+	// Inject offers a request to the crossbar; false means retry.
+	Inject func(r *memreq.Request, now int64) bool
+	// NextID allocates globally unique request IDs.
+	NextID func() uint64
+
+	Collector *stats.Collector
+}
+
+// SM is one SIMT core.
+type SM struct {
+	cfg   Config
+	warps []*Warp
+	l1    *cache.Cache
+
+	replay  []*memreq.Request // in-order request/credit injection queue
+	waiters map[uint64][]waiter
+
+	greedy int
+	active int
+
+	InstrIssued int64
+	// IdleTicks counts cycles where the SM had warps outstanding but
+	// none ready to issue — the "all warps stalled on memory" condition
+	// of Section III-A that multithreading fails to hide.
+	IdleTicks   int64
+	ActiveTicks int64
+	L1          *cache.Cache // exported for stats
+	DoneTick    int64
+}
+
+// New builds an SM running the given per-warp programs.
+func New(cfg Config, programs []Program) *SM {
+	s := &SM{
+		cfg:     cfg,
+		l1:      cache.New(cfg.L1),
+		waiters: make(map[uint64][]waiter),
+	}
+	s.L1 = s.l1
+	for i, p := range programs {
+		w := &Warp{ID: i, Prog: p, pending: make(map[uint32]int)}
+		if len(p) == 0 {
+			w.done = true
+		} else {
+			s.active++
+		}
+		s.warps = append(s.warps, w)
+	}
+	return s
+}
+
+// Done reports whether every warp has retired.
+func (s *SM) Done() bool { return s.active == 0 }
+
+// Warps exposes warp states (read-only use).
+func (s *SM) Warps() []*Warp { return s.warps }
+
+// gid builds the group identity for a warp's load.
+func (s *SM) gid(w *Warp, load uint32) memreq.GroupID {
+	return memreq.GroupID{SM: uint16(s.cfg.ID), Warp: uint16(w.ID), Load: load}
+}
+
+// Deliver hands a returning response (an L2 hit or a DRAM fill for a
+// request this SM sent) to the core. It fills the L1 and credits every
+// waiter merged on the line.
+func (s *SM) Deliver(r *memreq.Request, now int64) {
+	s.l1.Fill(r.Addr, false)
+	s.l1.MSHRRelease(r.Addr)
+	ws := s.waiters[r.Addr]
+	delete(s.waiters, r.Addr)
+	for _, wt := range ws {
+		s.credit(wt, now)
+	}
+}
+
+// credit delivers one line response to a (warp, load) subscriber.
+func (s *SM) credit(wt waiter, now int64) {
+	if s.cfg.Collector != nil {
+		s.cfg.Collector.OnResp(wt.gid, now)
+	}
+	w := wt.w
+	left := w.pending[wt.load] - 1
+	if left <= 0 {
+		delete(w.pending, wt.load)
+	} else {
+		w.pending[wt.load] = left
+	}
+	if !w.blocked || wt.load != w.curLoad {
+		return
+	}
+	if s.cfg.ZeroDivergence {
+		// The ideal model of Fig 4: the warp resumes as soon as its
+		// first datum returns; the remaining requests still occupy
+		// DRAM bandwidth.
+		w.blocked = false
+		w.readyAt = now + 1
+		return
+	}
+	if left <= 0 {
+		w.blocked = false
+		w.readyAt = now + 1
+	}
+}
+
+// Tick advances the SM one cycle: absorb one response, drain the replay
+// queue head, and issue one instruction (greedy-then-oldest).
+func (s *SM) Tick(now int64, popResponse func() *memreq.Request) {
+	if r := popResponse(); r != nil {
+		s.Deliver(r, now)
+	}
+	s.drainReplay(now)
+	s.issue(now)
+}
+
+// drainReplay injects the head of the in-order request queue, re-checking
+// the L1 and its MSHRs at injection time (a line may have been filled or
+// requested by another warp while queued).
+func (s *SM) drainReplay(now int64) {
+	for len(s.replay) > 0 {
+		r := s.replay[0]
+		if r.CreditOnly {
+			if !s.cfg.Inject(r, now) {
+				return
+			}
+			s.replay = s.replay[1:]
+			continue
+		}
+		wt := waiter{w: s.warps[r.Group.Warp], load: r.Group.Load, gid: r.Group}
+		if r.Kind == memreq.Read {
+			if s.l1.Contains(r.Addr) {
+				// Filled while queued: satisfied locally.
+				s.credit(wt, now)
+				s.dropOrCredit(r)
+				continue
+			}
+			if m := s.l1.MSHRFor(r.Addr); m != nil {
+				// Another warp already fetched this line: merge.
+				s.waiters[r.Addr] = append(s.waiters[r.Addr], wt)
+				s.dropOrCredit(r)
+				continue
+			}
+			if s.l1.MSHRAlloc(r.Addr) == nil {
+				return // MSHRs exhausted; stall the queue
+			}
+			if !s.cfg.Inject(r, now) {
+				// Crossbar full: undo the MSHR and retry.
+				s.l1.MSHRRelease(r.Addr)
+				return
+			}
+			s.waiters[r.Addr] = append(s.waiters[r.Addr], wt)
+			s.replay = s.replay[1:]
+			continue
+		}
+		// Store write-through: no waiter, no response.
+		if !s.cfg.Inject(r, now) {
+			return
+		}
+		s.replay = s.replay[1:]
+	}
+}
+
+// dropOrCredit removes the head request; if it carried the group's
+// channel tag, a zero-cost credit marker takes its queue slot so the
+// memory controller still learns the group is fully transferred.
+func (s *SM) dropOrCredit(r *memreq.Request) {
+	if r.LastInChannel {
+		c := &memreq.Request{
+			ID: s.cfg.NextID(), Kind: memreq.Read, Addr: r.Addr,
+			Group: r.Group, CreditOnly: true,
+			Channel: r.Channel, Bank: r.Bank, Row: r.Row, Col: r.Col,
+		}
+		s.replay[0] = c
+		return
+	}
+	s.replay = s.replay[1:]
+}
+
+// issue picks a warp greedy-then-oldest and issues its next instruction.
+func (s *SM) issue(now int64) {
+	w := s.pickWarp(now)
+	if w == nil {
+		if s.active > 0 {
+			s.IdleTicks++
+		}
+		return
+	}
+	s.ActiveTicks++
+	insn := w.Prog[w.pc]
+	w.pc++
+	w.Issued++
+	s.InstrIssued++
+	switch insn.Kind {
+	case Compute:
+		w.readyAt = now + 1
+	case Load:
+		s.issueLoad(w, insn, now)
+	case Store:
+		s.issueStore(w, insn, now)
+	}
+	if w.pc >= len(w.Prog) && !w.done {
+		w.done = true
+		w.DoneTick = now
+		s.active--
+		if s.active == 0 {
+			s.DoneTick = now
+		}
+	}
+}
+
+func (s *SM) pickWarp(now int64) *Warp {
+	ready := func(w *Warp) bool {
+		if w.done || w.blocked || w.readyAt > now {
+			return false
+		}
+		// Memory instructions wait for the LSU queue to drain so that
+		// per-channel request order matches the tagging order.
+		if len(s.replay) > 0 && w.Prog[w.pc].Kind != Compute {
+			return false
+		}
+		return true
+	}
+	if s.cfg.LRR {
+		// Loose round-robin: rotate past the last issuer.
+		for i := 1; i <= len(s.warps); i++ {
+			w := s.warps[(s.greedy+i)%len(s.warps)]
+			if ready(w) {
+				s.greedy = w.ID
+				return w
+			}
+		}
+		return nil
+	}
+	// Greedy-then-oldest.
+	if g := s.warps[s.greedy]; ready(g) {
+		return g
+	}
+	for i, w := range s.warps {
+		if ready(w) {
+			s.greedy = i
+			return w
+		}
+	}
+	return nil
+}
+
+func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
+	lines := coalesce.Lines(insn.Addrs)
+	if s.cfg.PerfectCoalescing && len(lines) > 1 {
+		lines = lines[:1]
+	}
+	w.loadSerial++
+	load := w.loadSerial
+	gid := s.gid(w, load)
+
+	// L1 probe: resident lines are satisfied at L1 latency.
+	var missing []uint64
+	for _, line := range lines {
+		if s.l1.Lookup(line) {
+			continue
+		}
+		missing = append(missing, line)
+	}
+	if s.cfg.Collector != nil {
+		s.cfg.Collector.OnLoadIssue(gid, now, len(lines), len(missing))
+	}
+	if len(missing) == 0 {
+		w.readyAt = now + s.cfg.L1Lat
+		return
+	}
+	w.pending[load] = len(missing)
+	w.curLoad = load
+	w.blocked = true
+
+	// Build all requests up front so the last request per channel can be
+	// tagged; enqueue in order on the LSU replay queue.
+	reqs := make([]*memreq.Request, len(missing))
+	lastToChannel := make(map[int]int)
+	for i, line := range missing {
+		c := s.cfg.Mapper.Decode(line)
+		reqs[i] = &memreq.Request{
+			ID: s.cfg.NextID(), Kind: memreq.Read, Addr: line,
+			Group: gid, Issue: now,
+			Channel: c.Channel, Bank: c.Bank, Row: c.Row, Col: c.Col,
+		}
+		lastToChannel[c.Channel] = i
+	}
+	for _, i := range lastToChannel {
+		reqs[i].LastInChannel = true
+	}
+	for _, r := range reqs {
+		r.GroupChannels = uint8(len(lastToChannel))
+	}
+	if s.cfg.ZeroDivergence {
+		// Fig 4 ideal: every request after the first is a pure bus
+		// transfer (bank conflicts abstracted away).
+		for _, r := range reqs[1:] {
+			r.BusOnly = true
+		}
+	}
+	s.replay = append(s.replay, reqs...)
+	s.drainReplay(now)
+}
+
+func (s *SM) issueStore(w *Warp, insn Insn, now int64) {
+	lines := coalesce.Lines(insn.Addrs)
+	if s.cfg.PerfectCoalescing && len(lines) > 1 {
+		lines = lines[:1]
+	}
+	if s.cfg.Collector != nil {
+		s.cfg.Collector.OnStoreIssue(len(lines))
+	}
+	for _, line := range lines {
+		// Write-through, no-allocate: keep L1 coherent by dropping any
+		// stale copy, then send the write to the L2.
+		s.l1.Invalidate(line)
+		c := s.cfg.Mapper.Decode(line)
+		s.replay = append(s.replay, &memreq.Request{
+			ID: s.cfg.NextID(), Kind: memreq.Write, Addr: line,
+			Issue: now,
+			// Stores carry the SM in the group for response routing
+			// (unused) but no load serial: they are ungrouped.
+			Group:   memreq.GroupID{SM: uint16(s.cfg.ID)},
+			Channel: c.Channel, Bank: c.Bank, Row: c.Row, Col: c.Col,
+		})
+	}
+	w.readyAt = now + 1
+	s.drainReplay(now)
+}

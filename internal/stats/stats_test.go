@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"testing"
+
+	"dramlat/internal/memreq"
+)
+
+func gid(load uint32) memreq.GroupID { return memreq.GroupID{SM: 1, Warp: 2, Load: load} }
+
+func TestFullyResidentLoadNotTracked(t *testing.T) {
+	c := NewCollector()
+	c.OnLoadIssue(gid(1), 100, 4, 0)
+	if c.Outstanding() != 0 {
+		t.Fatal("fully resident load tracked as group")
+	}
+	if c.TotalLoads != 1 || c.TotalLines != 4 || c.MultiReqLoads != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	c := NewCollector()
+	c.OnLoadIssue(gid(1), 100, 6, 3)
+	if c.Outstanding() != 1 {
+		t.Fatal("group not tracked")
+	}
+	c.OnMCArrive(gid(1), 0)
+	c.OnMCArrive(gid(1), 4)
+	c.OnMCArrive(gid(1), 4)
+	c.OnDRAMDone(gid(1), 300)
+	c.OnDRAMDone(gid(1), 450)
+	c.OnResp(gid(1), 340)
+	c.OnResp(gid(1), 490)
+	if c.Outstanding() != 1 {
+		t.Fatal("group finalized early")
+	}
+	c.OnResp(gid(1), 520)
+	if c.Outstanding() != 0 || len(c.Done()) != 1 {
+		t.Fatal("group not finalized on last response")
+	}
+	g := c.Done()[0]
+	if g.FirstResp != 340 || g.LastResp != 520 {
+		t.Fatalf("resp window %d..%d", g.FirstResp, g.LastResp)
+	}
+	if g.FirstDRAMDone != 300 || g.LastDRAMDone != 450 {
+		t.Fatalf("dram window %d..%d", g.FirstDRAMDone, g.LastDRAMDone)
+	}
+	if g.MCArrived != 3 || g.ChannelMask != (1|1<<4) {
+		t.Fatalf("mc arrival: %d mask %b", g.MCArrived, g.ChannelMask)
+	}
+}
+
+func TestEventsForUnknownGroupIgnored(t *testing.T) {
+	c := NewCollector()
+	c.OnMCArrive(gid(9), 0)
+	c.OnDRAMDone(gid(9), 10)
+	c.OnResp(gid(9), 20)
+	if c.Outstanding() != 0 || len(c.Done()) != 0 {
+		t.Fatal("phantom group created")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := NewCollector()
+	// Load 1: two requests, both DRAM-serviced on two channels.
+	c.OnLoadIssue(gid(1), 0, 2, 2)
+	c.OnMCArrive(gid(1), 0)
+	c.OnMCArrive(gid(1), 1)
+	c.OnDRAMDone(gid(1), 100)
+	c.OnDRAMDone(gid(1), 180)
+	c.OnResp(gid(1), 120)
+	c.OnResp(gid(1), 200)
+	// Load 2: one request (single-channel).
+	c.OnLoadIssue(gid(2), 0, 1, 1)
+	c.OnMCArrive(gid(2), 3)
+	c.OnDRAMDone(gid(2), 90)
+	c.OnResp(gid(2), 110)
+	// Load 3: fully L1 resident.
+	c.OnLoadIssue(gid(3), 0, 1, 0)
+
+	s := c.Summarize()
+	if s.Loads != 3 {
+		t.Fatalf("loads %d", s.Loads)
+	}
+	if s.MultiReqFrac < 0.33 || s.MultiReqFrac > 0.34 {
+		t.Fatalf("multi frac %v", s.MultiReqFrac)
+	}
+	if s.ReqsPerLoad != 4.0/3 {
+		t.Fatalf("reqs/load %v", s.ReqsPerLoad)
+	}
+	if s.AvgMCsTouched != 1.5 {
+		t.Fatalf("MCs %v", s.AvgMCsTouched)
+	}
+	if s.DivergenceGap != 80 {
+		t.Fatalf("gap %v", s.DivergenceGap)
+	}
+	// last/first for load 1: 200/120.
+	if s.LastOverFirst < 1.66 || s.LastOverFirst > 1.67 {
+		t.Fatalf("last/first %v", s.LastOverFirst)
+	}
+	// effective latency: (200 + 110)/2.
+	if s.EffectiveLatency != 155 {
+		t.Fatalf("eff lat %v", s.EffectiveLatency)
+	}
+	if s.MemGroups != 2 {
+		t.Fatalf("mem groups %d", s.MemGroups)
+	}
+}
+
+func TestStores(t *testing.T) {
+	c := NewCollector()
+	c.OnStoreIssue(3)
+	c.OnStoreIssue(1)
+	if c.Stores != 2 || c.StoreLines != 4 {
+		t.Fatalf("stores %d lines %d", c.Stores, c.StoreLines)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewCollector().Summarize()
+	if s.Loads != 0 || s.ReqsPerLoad != 0 || s.EffectiveLatency != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for m, want := range map[uint32]int{0: 0, 1: 1, 0b101011: 4, 0xffffffff: 32} {
+		if got := popcount(m); got != want {
+			t.Fatalf("popcount(%b) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 10; i++ {
+		g := gid(uint32(i))
+		c.OnLoadIssue(g, 0, 2, 2)
+		c.OnDRAMDone(g, 100)
+		c.OnDRAMDone(g, 100+int64(i)*10) // gaps 10..100
+		c.OnResp(g, 200)
+		c.OnResp(g, 300)
+	}
+	if got := c.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := c.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	mid := c.Percentile(50)
+	if mid < 40 || mid > 60 {
+		t.Fatalf("p50 = %v", mid)
+	}
+	if NewCollector().Percentile(50) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+}

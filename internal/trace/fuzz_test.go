@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace parser: arbitrary input must either parse
+// into a workload that round-trips through Write/Read, or fail cleanly.
+func FuzzRead(f *testing.F) {
+	f.Add("@ 0 0\nL 10 20\nC 2\nS ff\n")
+	f.Add("# comment\n\n@ 1 1\nC\n")
+	f.Add("@ 0 0\nL zz\n")
+	f.Add("@ 9 9\n")
+	f.Add("C 5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		wl, err := Read(strings.NewReader(in), "fuzz", 2, 2)
+		if err != nil {
+			return // clean rejection
+		}
+		// Accepted input must round-trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, wl); err != nil {
+			t.Fatalf("Write failed on accepted input: %v", err)
+		}
+		wl2, err := Read(&buf, "fuzz", 2, 2)
+		if err != nil {
+			t.Fatalf("round-trip Read failed: %v\ninput: %q\nserialized: %q", err, in, buf.String())
+		}
+		for s := range wl.Programs {
+			for w := range wl.Programs[s] {
+				if len(wl.Programs[s][w]) != len(wl2.Programs[s][w]) {
+					t.Fatalf("round trip changed program length")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package trace serializes workloads as a line-oriented text format so
+// that externally captured warp instruction traces can be replayed through
+// the simulator, and generated workloads can be exported for inspection or
+// use by other tools.
+//
+// Format (one record per line, '#' starts a comment):
+//
+//	@ <sm> <warp>          start of a warp's instruction stream
+//	C [n]                  n compute instructions (default 1)
+//	L <addr> [addr...]     warp load: per-lane byte addresses, hex
+//	S <addr> [addr...]     warp store
+//
+// Addresses are unprefixed hexadecimal. A warp's instructions follow its
+// '@' header in order; headers may appear in any order but at most once
+// per (sm, warp).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dramlat/internal/gpu"
+	"dramlat/internal/sm"
+)
+
+// Write serializes a workload.
+func Write(w io.Writer, wl gpu.Workload) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# dramlat trace: workload %q, %d SMs\n", wl.Name, len(wl.Programs))
+	for smID, warps := range wl.Programs {
+		for warpID, prog := range warps {
+			if len(prog) == 0 {
+				continue
+			}
+			fmt.Fprintf(bw, "@ %d %d\n", smID, warpID)
+			runC := 0
+			flushC := func() {
+				if runC == 1 {
+					fmt.Fprintln(bw, "C")
+				} else if runC > 1 {
+					fmt.Fprintf(bw, "C %d\n", runC)
+				}
+				runC = 0
+			}
+			for _, in := range prog {
+				switch in.Kind {
+				case sm.Compute:
+					runC++
+				case sm.Load, sm.Store:
+					flushC()
+					tag := "L"
+					if in.Kind == sm.Store {
+						tag = "S"
+					}
+					bw.WriteString(tag)
+					for _, a := range in.Addrs {
+						fmt.Fprintf(bw, " %x", a)
+					}
+					bw.WriteByte('\n')
+				}
+			}
+			flushC()
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace into a workload shaped for a machine with the given
+// geometry. Records for SMs or warps beyond the geometry are an error.
+func Read(r io.Reader, name string, numSMs, warpsPerSM int) (gpu.Workload, error) {
+	wl := gpu.Workload{Name: name, Programs: make([][]sm.Program, numSMs)}
+	for i := range wl.Programs {
+		wl.Programs[i] = make([]sm.Program, warpsPerSM)
+	}
+	var cur *sm.Program
+	seen := map[[2]int]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "@":
+			if len(fields) != 3 {
+				return wl, fmt.Errorf("trace:%d: malformed warp header", lineNo)
+			}
+			smID, err1 := strconv.Atoi(fields[1])
+			warpID, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return wl, fmt.Errorf("trace:%d: bad warp header ids", lineNo)
+			}
+			if smID < 0 || smID >= numSMs || warpID < 0 || warpID >= warpsPerSM {
+				return wl, fmt.Errorf("trace:%d: warp (%d,%d) outside %dx%d machine",
+					lineNo, smID, warpID, numSMs, warpsPerSM)
+			}
+			key := [2]int{smID, warpID}
+			if seen[key] {
+				return wl, fmt.Errorf("trace:%d: duplicate warp header (%d,%d)", lineNo, smID, warpID)
+			}
+			seen[key] = true
+			cur = &wl.Programs[smID][warpID]
+		case "C":
+			if cur == nil {
+				return wl, fmt.Errorf("trace:%d: instruction before warp header", lineNo)
+			}
+			n := 1
+			if len(fields) == 2 {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil || v < 1 {
+					return wl, fmt.Errorf("trace:%d: bad compute count", lineNo)
+				}
+				n = v
+			} else if len(fields) > 2 {
+				return wl, fmt.Errorf("trace:%d: malformed compute record", lineNo)
+			}
+			for i := 0; i < n; i++ {
+				*cur = append(*cur, sm.Insn{Kind: sm.Compute})
+			}
+		case "L", "S":
+			if cur == nil {
+				return wl, fmt.Errorf("trace:%d: instruction before warp header", lineNo)
+			}
+			if len(fields) < 2 {
+				return wl, fmt.Errorf("trace:%d: memory record with no addresses", lineNo)
+			}
+			kind := sm.Load
+			if fields[0] == "S" {
+				kind = sm.Store
+			}
+			addrs := make([]uint64, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				a, err := strconv.ParseUint(f, 16, 64)
+				if err != nil {
+					return wl, fmt.Errorf("trace:%d: bad address %q", lineNo, f)
+				}
+				addrs = append(addrs, a)
+			}
+			*cur = append(*cur, sm.Insn{Kind: kind, Addrs: addrs})
+		default:
+			return wl, fmt.Errorf("trace:%d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return wl, fmt.Errorf("trace: %w", err)
+	}
+	return wl, nil
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dramlat/internal/gpu"
+	"dramlat/internal/sm"
+)
+
+func sampleWorkload() gpu.Workload {
+	return gpu.Workload{
+		Name: "sample",
+		Programs: [][]sm.Program{
+			{
+				{ // sm0 warp0
+					{Kind: sm.Compute},
+					{Kind: sm.Compute},
+					{Kind: sm.Load, Addrs: []uint64{0x1000, 0x2000}},
+					{Kind: sm.Store, Addrs: []uint64{0xdeadc0}},
+					{Kind: sm.Compute},
+				},
+				{}, // sm0 warp1: empty
+			},
+			{
+				{ // sm1 warp0
+					{Kind: sm.Load, Addrs: []uint64{0xabc}},
+				},
+				{ // sm1 warp1
+					{Kind: sm.Compute},
+				},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	wl := sampleWorkload()
+	var buf bytes.Buffer
+	if err := Write(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "sample", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range wl.Programs {
+		for w := range wl.Programs[s] {
+			a, b := wl.Programs[s][w], got.Programs[s][w]
+			if len(a) != len(b) {
+				t.Fatalf("sm%d w%d: %d insns vs %d", s, w, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Kind != b[i].Kind || len(a[i].Addrs) != len(b[i].Addrs) {
+					t.Fatalf("sm%d w%d insn %d mismatch", s, w, i)
+				}
+				for j := range a[i].Addrs {
+					if a[i].Addrs[j] != b[i].Addrs[j] {
+						t.Fatalf("sm%d w%d insn %d addr %d mismatch", s, w, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestComputeRunLengthEncoding(t *testing.T) {
+	wl := gpu.Workload{Programs: [][]sm.Program{{{
+		{Kind: sm.Compute}, {Kind: sm.Compute}, {Kind: sm.Compute},
+	}}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "C 3") {
+		t.Fatalf("compute run not encoded:\n%s", buf.String())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"insn before header": "C\n",
+		"malformed header":   "@ 1\n",
+		"bad header ids":     "@ x y\n",
+		"out of range sm":    "@ 9 0\n",
+		"out of range warp":  "@ 0 9\n",
+		"duplicate header":   "@ 0 0\nC\n@ 0 0\n",
+		"empty load":         "@ 0 0\nL\n",
+		"bad address":        "@ 0 0\nL zz\n",
+		"bad compute count":  "@ 0 0\nC x\n",
+		"negative compute":   "@ 0 0\nC -1\n",
+		"unknown record":     "@ 0 0\nX 1\n",
+		"extra field on C":   "@ 0 0\nC 1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in), "t", 2, 2); err == nil {
+			t.Errorf("%s: no error for %q", name, in)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n@ 0 0\n# mid\nL 10 20\nC 2\n"
+	wl, err := Read(strings.NewReader(in), "t", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wl.Programs[0][0]
+	if len(p) != 3 || p[0].Kind != sm.Load || p[0].Addrs[0] != 0x10 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+// A trace round-tripped through the format must simulate identically to
+// the original workload.
+func TestTraceSimulatesIdentically(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.WarpsPerSM = 2
+	cfg.MaxTicks = 1_000_000
+
+	orig := gpu.Workload{Name: "t", Programs: [][]sm.Program{
+		{
+			{{Kind: sm.Load, Addrs: []uint64{0, 1 << 20, 2 << 20}}, {Kind: sm.Compute}},
+			{{Kind: sm.Store, Addrs: []uint64{3 << 20}}, {Kind: sm.Load, Addrs: []uint64{4 << 20}}},
+		},
+		{
+			{{Kind: sm.Load, Addrs: []uint64{5 << 20, 6 << 20}}},
+			{{Kind: sm.Compute}},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Read(&buf, "t", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := gpu.NewSystem(cfg, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := s1.Run()
+	s2, err := gpu.NewSystem(cfg, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := s2.Run()
+	if r1.Ticks != r2.Ticks || r1.Instr != r2.Instr || r1.DRAM.RDBursts != r2.DRAM.RDBursts {
+		t.Fatalf("replay differs: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,173 @@
+// Package xbar models the crossbar interconnect between the SIMT cores and
+// the memory partitions (Section II-B). Its two fidelity-critical
+// properties, both from Section IV-B2:
+//
+//   - requests from a single SM are never re-ordered (this is what makes
+//     the warp sorter's "last request to this channel" tag a reliable
+//     group-complete signal), and
+//   - requests from different SMs interleave at each partition port (this
+//     is what defeats plain FCFS scheduling, Section III-A).
+//
+// A NoInterleave mode services one SM's queue to exhaustion before moving
+// on — the interconnect assumed by the WAFCFS comparator (Yuan et al.
+// [51], Section VI-C2).
+package xbar
+
+import "dramlat/internal/memreq"
+
+type entry struct {
+	req     *memreq.Request
+	readyAt int64
+}
+
+// Xbar is the SM <-> partition crossbar.
+type Xbar struct {
+	NumSM, NumPart int
+	// Latency is the one-way pipe latency in ticks.
+	Latency int64
+	// CapPerQueue bounds each (SM,partition) request FIFO; injection
+	// fails (and the SM retries) when full.
+	CapPerQueue int
+	// NoInterleave makes each partition port drain one SM completely
+	// before rotating (WAFCFS interconnect).
+	NoInterleave bool
+
+	toPart [][][]entry // [sm][part] request FIFOs
+	toSM   [][][]entry // [part][sm] response FIFOs
+	rrReq  []int       // per-partition SM rotation
+	curSM  []int       // per-partition sticky SM (NoInterleave)
+	rrResp []int       // per-SM partition rotation
+
+	Injected  int64
+	Rejected  int64
+	Responses int64
+}
+
+// New builds a crossbar.
+func New(numSM, numPart int, latency int64, capPerQueue int) *Xbar {
+	x := &Xbar{
+		NumSM: numSM, NumPart: numPart,
+		Latency: latency, CapPerQueue: capPerQueue,
+		toPart: make([][][]entry, numSM),
+		toSM:   make([][][]entry, numPart),
+		rrReq:  make([]int, numPart),
+		curSM:  make([]int, numPart),
+		rrResp: make([]int, numSM),
+	}
+	for i := range x.toPart {
+		x.toPart[i] = make([][]entry, numPart)
+	}
+	for i := range x.toSM {
+		x.toSM[i] = make([][]entry, numSM)
+	}
+	for i := range x.curSM {
+		x.curSM[i] = -1
+	}
+	return x
+}
+
+// Inject offers a request from SM sm toward its partition (req.Channel).
+// It returns false when the queue is full.
+func (x *Xbar) Inject(sm int, req *memreq.Request, now int64) bool {
+	q := &x.toPart[sm][req.Channel]
+	if len(*q) >= x.CapPerQueue {
+		x.Rejected++
+		return false
+	}
+	*q = append(*q, entry{req, now + x.Latency})
+	x.Injected++
+	return true
+}
+
+// PeekPart returns the next request deliverable to partition `part` at tick
+// now without removing it, plus a pop function to consume it. It returns
+// nil when nothing is ready. Arbitration is round-robin across SMs (or
+// sticky per-SM in NoInterleave mode); each (SM, partition) FIFO preserves
+// order.
+func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
+	if x.NoInterleave {
+		// Stick with the current SM while it has anything queued.
+		cur := x.curSM[part]
+		if cur >= 0 && len(x.toPart[cur][part]) > 0 {
+			return x.headIfReady(cur, part, now)
+		}
+		for i := 0; i < x.NumSM; i++ {
+			sm := (x.rrReq[part] + i) % x.NumSM
+			if len(x.toPart[sm][part]) > 0 {
+				x.curSM[part] = sm
+				x.rrReq[part] = (sm + 1) % x.NumSM
+				return x.headIfReady(sm, part, now)
+			}
+		}
+		x.curSM[part] = -1
+		return nil, nil
+	}
+	for i := 0; i < x.NumSM; i++ {
+		sm := (x.rrReq[part] + i) % x.NumSM
+		if req, pop := x.headIfReady(sm, part, now); req != nil {
+			rot := (sm + 1) % x.NumSM
+			return req, func() { pop(); x.rrReq[part] = rot }
+		}
+	}
+	return nil, nil
+}
+
+func (x *Xbar) headIfReady(sm, part int, now int64) (*memreq.Request, func()) {
+	q := x.toPart[sm][part]
+	if len(q) == 0 || q[0].readyAt > now {
+		return nil, nil
+	}
+	return q[0].req, func() { x.toPart[sm][part] = x.toPart[sm][part][1:] }
+}
+
+// Respond sends a response from partition part back to the request's SM.
+// The response path is modeled with latency but without back-pressure (the
+// SM drains one response per tick, far above the DRAM return rate).
+func (x *Xbar) Respond(part int, req *memreq.Request, now int64) {
+	sm := int(req.Group.SM)
+	if !req.Group.Valid() {
+		sm = 0
+	}
+	x.toSM[part][sm] = append(x.toSM[part][sm], entry{req, now + x.Latency})
+	x.Responses++
+}
+
+// RespondTo sends a response to an explicit SM (for ungrouped traffic).
+func (x *Xbar) RespondTo(part, sm int, req *memreq.Request, now int64) {
+	x.toSM[part][sm] = append(x.toSM[part][sm], entry{req, now + x.Latency})
+	x.Responses++
+}
+
+// PopResponse returns the next response for SM sm at tick now, or nil.
+func (x *Xbar) PopResponse(sm int, now int64) *memreq.Request {
+	for i := 0; i < x.NumPart; i++ {
+		part := (x.rrResp[sm] + i) % x.NumPart
+		q := x.toSM[part][sm]
+		if len(q) == 0 || q[0].readyAt > now {
+			continue
+		}
+		x.toSM[part][sm] = q[1:]
+		x.rrResp[sm] = (part + 1) % x.NumPart
+		return q[0].req
+	}
+	return nil
+}
+
+// Empty reports whether the crossbar holds no traffic in either direction.
+func (x *Xbar) Empty() bool {
+	for sm := range x.toPart {
+		for part := range x.toPart[sm] {
+			if len(x.toPart[sm][part]) > 0 {
+				return false
+			}
+		}
+	}
+	for part := range x.toSM {
+		for sm := range x.toSM[part] {
+			if len(x.toSM[part][sm]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

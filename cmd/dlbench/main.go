@@ -2,10 +2,16 @@
 // evaluation as text tables. Each experiment is selected with -exp; "all"
 // runs the full set (the EXPERIMENTS.md record is produced this way).
 //
+// The simulations behind the tables run through the internal/sweep
+// engine: they are prewarmed in parallel (-workers), cached persistently
+// on disk (-cache), and a failed run is reported at the end instead of
+// killing the sweep. -json exports every run backing the tables as
+// machine-readable JSON.
+//
 // Usage:
 //
 //	dlbench -exp fig8 [-scale 1] [-sms 30] [-warps 32]
-//	dlbench -exp all
+//	dlbench -exp all [-workers 8] [-cache dir|none] [-json out.json]
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig8 fig9 fig10 fig11
 // fig12 regular power sbwas wafcfs util1bank ablation all
@@ -16,11 +22,95 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"dramlat"
+	"dramlat/internal/sweep"
 )
+
+// session is the per-invocation sweep state shared by every runner
+// (including the ablation sub-runners): the engine, an in-memory memo of
+// everything resolved so far, and the executed/cached/failed accounting
+// for the exit summary and -json export.
+type session struct {
+	eng      *sweep.Engine
+	memo     map[string]sweep.Outcome // by canonical spec hash
+	order    []string                 // memo insertion order, for export
+	executed int
+	cached   int
+	failed   int
+	start    time.Time
+}
+
+func newSession(eng *sweep.Engine) *session {
+	return &session{eng: eng, memo: map[string]sweep.Outcome{}, start: time.Now()}
+}
+
+// lookup resolves one spec: memo, then the engine (disk cache, then a
+// real run). A failed run is recorded and its partial results returned —
+// the sweep continues and main exits non-zero at the end.
+func (s *session) lookup(spec dramlat.RunSpec) dramlat.Results {
+	h := spec.Hash()
+	if o, ok := s.memo[h]; ok {
+		return o.Results
+	}
+	o := s.eng.RunOne(spec)
+	s.record(o)
+	if o.Err != nil {
+		fmt.Fprintf(os.Stderr, "dlbench: %v (continuing)\n", o.Err)
+	} else if !o.Cached {
+		fmt.Fprintf(os.Stderr, "  ran %s/%s seed %d %10d ticks\n",
+			spec.Benchmark, spec.Scheduler, spec.Canonical().Seed, o.Results.Ticks)
+	}
+	return o.Results
+}
+
+func (s *session) record(o sweep.Outcome) {
+	if _, ok := s.memo[o.Hash]; ok {
+		return
+	}
+	s.memo[o.Hash] = o
+	s.order = append(s.order, o.Hash)
+	switch {
+	case o.Err != nil:
+		s.failed++
+	case o.Cached:
+		s.cached++
+	default:
+		s.executed++
+	}
+}
+
+// prewarm runs the specs an experiment set needs through the engine's
+// worker pool, so the table code below finds everything in the memo.
+func (s *session) prewarm(specs []dramlat.RunSpec) {
+	if len(specs) == 0 {
+		return
+	}
+	rep := s.eng.Run(specs)
+	for _, o := range rep.Outcomes {
+		s.record(o)
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "dlbench: %v (continuing)\n", o.Err)
+		}
+	}
+}
+
+// report assembles the sweep report over every unique spec this
+// invocation touched, for the -json export.
+func (s *session) report() *sweep.Report {
+	rep := &sweep.Report{
+		Executed: s.executed, Cached: s.cached, Failed: s.failed,
+		Elapsed: time.Since(s.start),
+	}
+	for _, h := range s.order {
+		rep.Outcomes = append(rep.Outcomes, s.memo[h])
+	}
+	return rep
+}
 
 type runner struct {
 	scale      float64
@@ -28,27 +118,22 @@ type runner struct {
 	seed       int64
 	seeds      int // >1: average kernel times over this many seeds
 	ablation   string
-	cache      map[string]dramlat.Results
+	s          *session
 }
 
-func (r *runner) run(bench, sched string, perfect, zerodiv bool, alpha float64) dramlat.Results {
-	key := fmt.Sprintf("%s/%s/%v/%v/%.2f%s/%d", bench, sched, perfect, zerodiv, alpha, r.ablation, r.seed)
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	res, err := dramlat.Run(dramlat.RunSpec{
+// spec builds the RunSpec for one table cell under this runner's
+// geometry, seed and ablation.
+func (r *runner) spec(bench, sched string, perfect, zerodiv bool, alpha float64) dramlat.RunSpec {
+	return dramlat.RunSpec{
 		Benchmark: bench, Scheduler: sched, Scale: r.scale,
 		SMs: r.sms, WarpsPerSM: r.warps, Seed: r.seed,
 		PerfectCoalescing: perfect, ZeroDivergence: zerodiv, SBWASAlpha: alpha,
 		Ablation: r.ablation,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dlbench:", err)
-		os.Exit(1)
 	}
-	r.cache[key] = res
-	fmt.Fprintf(os.Stderr, "  ran %-22s %8d ticks\n", key, res.Ticks)
-	return res
+}
+
+func (r *runner) run(bench, sched string, perfect, zerodiv bool, alpha float64) dramlat.Results {
+	return r.s.lookup(r.spec(bench, sched, perfect, zerodiv, alpha))
 }
 
 func (r *runner) base(bench string) dramlat.Results { return r.run(bench, "gmc", false, false, 0.5) }
@@ -86,6 +171,21 @@ func header(title string) {
 	fmt.Printf("\n==== %s ====\n", title)
 }
 
+// experimentOrder is the -exp all sequence (the EXPERIMENTS.md order).
+var experimentOrder = []string{"table1", "table2", "table3", "fig2", "fig3", "fig4",
+	"fig8", "fig9", "fig10", "fig11", "fig12", "regular", "power",
+	"sbwas", "wafcfs", "util1bank", "ablation", "cpusched", "extension",
+	"sensitivity", "motivation"}
+
+// defaultCacheDir resolves the persistent sweep cache location: the
+// user cache dir when available, else a dot-dir in the working tree.
+func defaultCacheDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "dramlat", "sweep")
+	}
+	return ".dramlat-sweep"
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table1..3, fig2..4, fig8..12, regular, power, sbwas, wafcfs, util1bank, all)")
 	scale := flag.Float64("scale", 1.0, "work scale")
@@ -93,10 +193,30 @@ func main() {
 	warps := flag.Int("warps", 0, "override warps/SM")
 	seed := flag.Int64("seed", 1, "workload seed")
 	seeds := flag.Int("seeds", 1, "average kernel times over this many seeds")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
+	jsonOut := flag.String("json", "", "also write every run as sweep JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
-	r := &runner{scale: *scale, sms: *sms, warps: *warps, seed: *seed, seeds: *seeds,
-		cache: map[string]dramlat.Results{}}
+	var cache *sweep.Cache
+	if *cacheDir != "" && *cacheDir != "none" {
+		var err error
+		cache, err = sweep.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlbench: %v (running uncached)\n", err)
+		}
+	}
+	eng := &sweep.Engine{Workers: *workers, Cache: cache,
+		Progress: func(ev sweep.Event) {
+			if ev.Outcome.Cached || ev.Outcome.Err != nil {
+				return
+			}
+			sp := ev.Outcome.Spec.Canonical()
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] ran %s/%s seed %d %10d ticks\n",
+				ev.Done, ev.Total, sp.Benchmark, sp.Scheduler, sp.Seed, ev.Outcome.Results.Ticks)
+		}}
+	s := newSession(eng)
+	r := &runner{scale: *scale, sms: *sms, warps: *warps, seed: *seed, seeds: *seeds, s: s}
 
 	exps := map[string]func(*runner){
 		"table1": table1, "table2": table2, "table3": table3,
@@ -107,22 +227,169 @@ func main() {
 		"cpusched": cpusched, "extension": extension,
 		"sensitivity": sensitivity, "motivation": motivation,
 	}
+	selected := []string{*exp}
 	if *exp == "all" {
-		order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "regular", "power",
-			"sbwas", "wafcfs", "util1bank", "ablation", "cpusched", "extension",
-			"sensitivity", "motivation"}
-		for _, e := range order {
-			exps[e](r)
-		}
-		return
-	}
-	f, ok := exps[*exp]
-	if !ok {
+		selected = experimentOrder
+	} else if _, ok := exps[*exp]; !ok {
 		fmt.Fprintf(os.Stderr, "dlbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
-	f(r)
+
+	// Prewarm: enumerate every spec the selected experiments need and
+	// run them on the engine's worker pool; the table code then reads
+	// the memo. Specs the enumeration misses still run (serially) via
+	// session.lookup, so the tables are always complete.
+	var specs []dramlat.RunSpec
+	for _, e := range selected {
+		specs = append(specs, experimentSpecs(r, e)...)
+	}
+	s.prewarm(specs)
+	if len(specs) > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d unique specs, %d executed, %d cached, %d failed (cache: %s)\n",
+			len(s.order), s.executed, s.cached, s.failed, cache.Dir())
+	}
+
+	for _, e := range selected {
+		exps[e](r)
+	}
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dlbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := s.report().WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if s.failed > 0 {
+		fmt.Fprintf(os.Stderr, "dlbench: %d of %d runs failed:\n", s.failed, len(s.order))
+		for _, h := range s.order {
+			if o := s.memo[h]; o.Err != nil {
+				sp := o.Spec.Canonical()
+				fmt.Fprintf(os.Stderr, "  %s/%s seed %d: %v\n", sp.Benchmark, sp.Scheduler, sp.Seed, o.Err)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// experimentSpecs enumerates the specs one experiment will request, for
+// parallel prewarming. It mirrors the table functions below; drifting out
+// of sync only costs parallelism (lookup still runs stragglers), never
+// correctness.
+func experimentSpecs(r *runner, exp string) []dramlat.RunSpec {
+	var specs []dramlat.RunSpec
+	add := func(bench, sched string, perfect, zerodiv bool, alpha float64) {
+		specs = append(specs, r.spec(bench, sched, perfect, zerodiv, alpha))
+	}
+	// seeded mirrors runner.ticks: seeds > 1 averages over consecutive
+	// workload seeds.
+	seeded := func(bench, sched string) {
+		if r.seeds <= 1 {
+			add(bench, sched, false, false, 0.5)
+			return
+		}
+		base := r.spec(bench, sched, false, false, 0.5)
+		for i := 0; i < r.seeds; i++ {
+			sp := base
+			sp.Seed = r.seed + int64(i)
+			specs = append(specs, sp)
+		}
+	}
+	irr := dramlat.IrregularNames()
+	switch exp {
+	case "fig2", "fig3", "motivation":
+		for _, b := range irr {
+			add(b, "gmc", false, false, 0.5)
+		}
+	case "fig4":
+		for _, b := range irr {
+			add(b, "gmc", false, false, 0.5)
+			add(b, "gmc", true, false, 0.5)
+			add(b, "gmc", false, true, 0.5)
+		}
+	case "fig8":
+		for _, b := range irr {
+			seeded(b, "gmc")
+			for _, s := range dramlat.WarpAwareSchedulers() {
+				seeded(b, s)
+			}
+		}
+	case "fig9", "fig10", "fig11":
+		for _, b := range irr {
+			add(b, "gmc", false, false, 0.5)
+			for _, s := range dramlat.WarpAwareSchedulers() {
+				add(b, s, false, false, 0.5)
+			}
+		}
+	case "fig12":
+		for _, b := range irr {
+			add(b, "wg-w", false, false, 0.5)
+		}
+	case "regular":
+		for _, b := range dramlat.RegularNames() {
+			seeded(b, "gmc")
+			seeded(b, "wg-w")
+		}
+	case "power":
+		for _, b := range irr {
+			add(b, "gmc", false, false, 0.5)
+			add(b, "wg-w", false, false, 0.5)
+		}
+	case "sbwas":
+		for _, b := range irr {
+			add(b, "gmc", false, false, 0.5)
+			for _, a := range []float64{0.25, 0.5, 0.75} {
+				add(b, "sbwas", false, false, a)
+			}
+		}
+	case "wafcfs":
+		for _, b := range irr {
+			seeded(b, "gmc")
+			seeded(b, "wafcfs")
+		}
+	case "cpusched":
+		for _, b := range irr {
+			for _, s := range []string{"gmc", "parbs", "atlas", "wg-w"} {
+				seeded(b, s)
+			}
+		}
+	case "extension":
+		for _, b := range irr {
+			for _, s := range []string{"gmc", "wg-w", "wg-sh"} {
+				seeded(b, s)
+			}
+		}
+	case "sensitivity":
+		for _, rq := range []int{16, 32, 64, 128} {
+			for _, b := range []string{"spmv", "kmeans"} {
+				for _, s := range []string{"gmc", "wg-w"} {
+					sp := r.spec(b, s, false, false, 0.5)
+					sp.ReadQ = rq
+					specs = append(specs, sp)
+				}
+			}
+		}
+	case "ablation":
+		for _, b := range []string{"bfs", "kmeans", "spmv", "sssp"} {
+			add(b, "wg-bw", false, false, 0.5)
+			for _, ab := range []string{"count-score", "no-orphan", "no-credits"} {
+				sp := r.spec(b, "wg-bw", false, false, 0.5)
+				sp.Ablation = ab
+				specs = append(specs, sp)
+			}
+		}
+	}
+	return specs
 }
 
 func table1(r *runner) {
@@ -466,13 +733,9 @@ func sensitivity(r *runner) {
 	}
 	fmt.Println()
 	runOne := func(b, sched string, rq int) int64 {
-		res, err := dramlat.Run(dramlat.RunSpec{Benchmark: b, Scheduler: sched,
-			Scale: r.scale, SMs: r.sms, WarpsPerSM: r.warps, Seed: r.seed, ReadQ: rq})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dlbench:", err)
-			os.Exit(1)
-		}
-		return res.Ticks
+		sp := r.spec(b, sched, false, false, 0.5)
+		sp.ReadQ = rq
+		return r.s.lookup(sp).Ticks
 	}
 	for _, rq := range []int{16, 32, 64, 128} {
 		fmt.Printf("%-16d", rq)
@@ -494,7 +757,7 @@ func ablation(r *runner) {
 	benches := []string{"bfs", "kmeans", "spmv", "sssp"}
 	for _, ab := range []string{"count-score", "no-orphan", "no-credits"} {
 		sub := &runner{scale: r.scale, sms: r.sms, warps: r.warps, seed: r.seed,
-			ablation: ab, cache: map[string]dramlat.Results{}}
+			ablation: ab, s: r.s}
 		var slow []float64
 		fmt.Printf("%-14s", ab)
 		for _, b := range benches {

@@ -1,0 +1,256 @@
+// Command dlsweep runs a declarative sweep grid over dramlat.RunSpec on
+// the internal/sweep engine and emits the aggregate as JSON (default) or
+// CSV. Grids come from flags or a JSON grid file; results are cached
+// persistently, so interrupted or repeated sweeps resume instantly.
+//
+// Usage:
+//
+//	dlsweep -bench irregular -sched gmc,wg-w -seeds 1,2,3 -scale 0.25
+//	dlsweep -grid grid.json -workers 8 -format csv -o results.csv
+//	dlsweep -bench bfs,spmv -sched all -readq 16,32,64,128
+//
+// Benchmark shorthands: "irregular" (Table III suite), "regular"
+// (§VI-A suite), "all". Scheduler shorthands: "wg" (the four warp-aware
+// policies), "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlsweep:", err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// expandBenches resolves the -bench shorthands.
+func expandBenches(names []string) []string {
+	var out []string
+	for _, n := range names {
+		switch n {
+		case "irregular":
+			out = append(out, dramlat.IrregularNames()...)
+		case "regular":
+			out = append(out, dramlat.RegularNames()...)
+		case "all":
+			out = append(out, dramlat.IrregularNames()...)
+			out = append(out, dramlat.RegularNames()...)
+		default:
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// expandScheds resolves the -sched shorthands.
+func expandScheds(names []string) []string {
+	var out []string
+	for _, n := range names {
+		switch n {
+		case "wg":
+			out = append(out, dramlat.WarpAwareSchedulers()...)
+		case "all":
+			out = append(out, dramlat.Schedulers()...)
+		default:
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func main() {
+	gridFile := flag.String("grid", "", "JSON grid description file (overrides the dimension flags)")
+	bench := flag.String("bench", "", "benchmarks: comma list, or irregular/regular/all")
+	sched := flag.String("sched", "gmc", "schedulers: comma list, wg (warp-aware four), or all")
+	seeds := flag.String("seeds", "", "comma list of workload seeds")
+	scales := flag.String("scale", "", "comma list of work scales")
+	sms := flag.String("sms", "", "comma list of SM counts")
+	warps := flag.String("warps", "", "comma list of warps/SM")
+	readqs := flag.String("readq", "", "comma list of read-queue depths")
+	cmdqs := flag.String("cmdq", "", "comma list of per-bank command-queue caps")
+	alphas := flag.String("alpha", "", "comma list of SBWAS alphas")
+	ablations := flag.String("ablation", "", "comma list of ablations (count-score,no-orphan,no-credits)")
+	warpscheds := flag.String("warpsched", "", "comma list of SM warp schedulers (gto,lrr)")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
+	format := flag.String("format", "json", "output format: json or csv")
+	out := flag.String("o", "-", "output file (\"-\" = stdout)")
+	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
+	flag.Parse()
+
+	if *format != "json" && *format != "csv" {
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+
+	var g sweep.Grid
+	if *gridFile != "" {
+		f, err := os.Open(*gridFile)
+		if err != nil {
+			fail(err)
+		}
+		g, err = sweep.ParseGrid(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var err error
+		g.Benchmarks = expandBenches(splitList(*bench))
+		g.Schedulers = expandScheds(splitList(*sched))
+		if g.Seeds, err = parseInt64s(*seeds); err != nil {
+			fail(err)
+		}
+		if g.Scales, err = parseFloats(*scales); err != nil {
+			fail(err)
+		}
+		if g.SMs, err = parseInts(*sms); err != nil {
+			fail(err)
+		}
+		if g.WarpsPerSM, err = parseInts(*warps); err != nil {
+			fail(err)
+		}
+		if g.ReadQs, err = parseInts(*readqs); err != nil {
+			fail(err)
+		}
+		if g.CmdQCaps, err = parseInts(*cmdqs); err != nil {
+			fail(err)
+		}
+		if g.Alphas, err = parseFloats(*alphas); err != nil {
+			fail(err)
+		}
+		g.Ablations = splitList(*ablations)
+		g.WarpScheds = splitList(*warpscheds)
+		if err = g.Validate(); err != nil {
+			fail(err)
+		}
+	}
+
+	var cache *sweep.Cache
+	if *cacheDir != "" && *cacheDir != "none" {
+		var err error
+		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+			fail(err)
+		}
+	}
+	eng := &sweep.Engine{Workers: *workers, Cache: cache}
+	if !*quiet {
+		eng.Progress = func(ev sweep.Event) {
+			sp := ev.Outcome.Spec.Canonical()
+			state := "ran"
+			if ev.Outcome.Cached {
+				state = "hit"
+			}
+			if ev.Outcome.Err != nil {
+				state = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "  [%4d/%4d] %s %s/%s seed %d (eta %v)\n",
+				ev.Done, ev.Total, state, sp.Benchmark, sp.Scheduler, sp.Seed, ev.ETA.Round(1e8))
+		}
+	}
+
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	specs := g.Enumerate()
+	fmt.Fprintf(os.Stderr, "dlsweep: %d specs on %d workers (cache: %s)\n",
+		len(specs), nw, cache.Dir())
+	rep := eng.Run(specs)
+	fmt.Fprintln(os.Stderr, "dlsweep:", rep.Summary())
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "json":
+		err = rep.WriteJSON(w)
+	case "csv":
+		err = rep.WriteCSV(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if rep.Failed > 0 {
+		for _, o := range rep.Failures() {
+			sp := o.Spec.Canonical()
+			fmt.Fprintf(os.Stderr, "dlsweep: FAILED %s/%s seed %d: %v\n",
+				sp.Benchmark, sp.Scheduler, sp.Seed, o.Err)
+		}
+		os.Exit(1)
+	}
+}
+
+// defaultCacheDir mirrors cmd/dlbench so the two tools share a cache.
+func defaultCacheDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return d + "/dramlat/sweep"
+	}
+	return ".dramlat-sweep"
+}

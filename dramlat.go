@@ -15,6 +15,9 @@
 package dramlat
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"dramlat/internal/gddr5"
@@ -60,6 +63,50 @@ type RunSpec struct {
 	// gives the scheduler more reordering freedom).
 	ReadQ       int
 	CmdQueueCap int
+}
+
+// Canonical returns the spec with every zero-valued "use the default"
+// field replaced by the default it resolves to, so that two specs that
+// select the same simulation compare (and hash) equal. The defaults are
+// derived from gpu.DefaultConfig and workload.DefaultParams rather than
+// restated here, so they cannot drift.
+func (s RunSpec) Canonical() RunSpec {
+	cfg := Config(s)
+	s.Scheduler = cfg.Scheduler
+	s.SMs = cfg.NumSMs
+	s.WarpsPerSM = cfg.WarpsPerSM
+	s.SBWASAlpha = cfg.SBWASAlpha
+	s.ReadQ = cfg.ReadQ
+	s.CmdQueueCap = cfg.CmdQueueCap
+	if s.WarpSched == "" {
+		s.WarpSched = "gto"
+	}
+	p := workload.DefaultParams()
+	if s.Scale <= 0 {
+		s.Scale = p.Scale
+	}
+	if s.Seed == 0 {
+		s.Seed = p.Seed
+	}
+	return s
+}
+
+// CanonicalJSON renders the canonicalized spec as deterministic JSON
+// (struct field order is fixed, so the bytes are stable across runs).
+func (s RunSpec) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s.Canonical())
+}
+
+// Hash returns a hex content hash of the canonicalized spec, suitable as
+// a result-cache key: specs that run the same simulation share a hash.
+func (s RunSpec) Hash() string {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		// RunSpec contains only scalar fields; Marshal cannot fail.
+		panic(fmt.Sprintf("dramlat: canonical JSON: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Results is the run digest (re-exported from internal/gpu).

@@ -3,6 +3,10 @@
 // zero-latency-divergence upper bound, showing how much of the ideal
 // headroom warp-aware scheduling captures.
 //
+// The runs go through the internal/sweep engine: the whole grid executes
+// on a worker pool up front, and failures surface as a summary instead of
+// killing the comparison.
+//
 //	go run ./examples/schedcompare
 package main
 
@@ -11,30 +15,50 @@ import (
 	"log"
 
 	"dramlat"
+	"dramlat/internal/sweep"
 )
 
 func main() {
 	suite := []string{"sp", "bh", "PVC", "spmv", "sad"}
 
+	// One grid covers every cell of the table: 4 variants per bench.
+	spec := func(b, sched string, perfect, zd bool) dramlat.RunSpec {
+		return dramlat.RunSpec{
+			Benchmark: b, Scheduler: sched,
+			Scale:             0.25,
+			PerfectCoalescing: perfect, ZeroDivergence: zd,
+		}
+	}
+	var specs []dramlat.RunSpec
+	for _, b := range suite {
+		specs = append(specs,
+			spec(b, "gmc", false, false),
+			spec(b, "wg-w", false, false),
+			spec(b, "gmc", false, true),
+			spec(b, "gmc", true, false))
+	}
+
+	eng := &sweep.Engine{} // GOMAXPROCS workers, no persistent cache
+	rep := eng.Run(specs)
+	if err := rep.Err(); err != nil {
+		log.Fatal(err)
+	}
+	ticks := map[string]int64{}
+	for _, o := range rep.Outcomes {
+		ticks[o.Hash] = o.Results.Ticks
+	}
+	at := func(b, sched string, perfect, zd bool) int64 {
+		return ticks[spec(b, sched, perfect, zd).Hash()]
+	}
+
 	fmt.Println("How much of the zero-divergence headroom does WG-W capture?")
 	fmt.Printf("%-14s %10s %10s %12s %10s\n",
 		"bench", "wg-w", "zero-div", "captured", "perfect")
 	for _, b := range suite {
-		run := func(sched string, perfect, zd bool) int64 {
-			res, err := dramlat.Run(dramlat.RunSpec{
-				Benchmark: b, Scheduler: sched,
-				Scale:             0.25,
-				PerfectCoalescing: perfect, ZeroDivergence: zd,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			return res.Ticks
-		}
-		base := run("gmc", false, false)
-		wgw := float64(base) / float64(run("wg-w", false, false))
-		zd := float64(base) / float64(run("gmc", false, true))
-		pc := float64(base) / float64(run("gmc", true, false))
+		base := at(b, "gmc", false, false)
+		wgw := float64(base) / float64(at(b, "wg-w", false, false))
+		zd := float64(base) / float64(at(b, "gmc", false, true))
+		pc := float64(base) / float64(at(b, "gmc", true, false))
 		captured := 0.0
 		if zd > 1 {
 			captured = (wgw - 1) / (zd - 1)

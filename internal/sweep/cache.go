@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dramlat"
+)
+
+// Cache is a persistent on-disk result store keyed by the content hash of
+// the canonicalized spec. Layout: one JSON file per result at
+// <dir>/<hash[:2]>/<hash>.json holding {spec, results}, written atomically
+// (temp file + rename) so an interrupted sweep never leaves a torn entry
+// and a re-run resumes from whatever completed. A nil *Cache is a valid
+// disabled cache.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates dir if needed and returns the cache rooted there.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root ("" for a disabled cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// entry is the on-disk record: the canonical spec rides along with the
+// results so cache files are self-describing and auditable.
+type entry struct {
+	Spec    dramlat.RunSpec `json:"spec"`
+	Results dramlat.Results `json:"results"`
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".json")
+}
+
+// Get returns the cached results for a spec, if present and well-formed.
+func (c *Cache) Get(spec dramlat.RunSpec) (dramlat.Results, bool) {
+	if c == nil {
+		return dramlat.Results{}, false
+	}
+	b, err := os.ReadFile(c.path(spec.Hash()))
+	if err != nil {
+		return dramlat.Results{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return dramlat.Results{}, false
+	}
+	return e.Results, true
+}
+
+// Put stores a result. Failed runs are never stored, so a crash or
+// MaxTicks abort is retried on the next sweep.
+func (c *Cache) Put(spec dramlat.RunSpec, res dramlat.Results) error {
+	if c == nil {
+		return nil
+	}
+	hash := spec.Hash()
+	b, err := json.MarshalIndent(entry{Spec: spec.Canonical(), Results: res}, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: encode cache entry: %w", err)
+	}
+	path := c.path(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sweep: cache shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache temp: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache rename: %w", err)
+	}
+	return nil
+}
+
+// Len counts the stored entries (walks the shard directories).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,230 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dramlat"
+)
+
+// Outcome is the result of one spec in a sweep.
+type Outcome struct {
+	Spec    dramlat.RunSpec
+	Hash    string
+	Results dramlat.Results
+	Err     error
+	Cached  bool          // served from the persistent cache
+	Elapsed time.Duration // zero for cached outcomes
+}
+
+// Event is one progress notification; Done counts both cached and
+// executed specs. Events are delivered serially from the engine.
+type Event struct {
+	Done, Total      int
+	Executed, Cached int
+	Failed           int
+	Outcome          Outcome
+	ETA              time.Duration // crude: mean executed cost × remaining
+}
+
+// Engine runs specs concurrently. The zero Engine is usable: GOMAXPROCS
+// workers, no cache, dramlat.Run as the runner, no progress reporting.
+type Engine struct {
+	// Workers caps concurrent simulations; <=0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is consulted before running and updated
+	// after every successful run.
+	Cache *Cache
+	// Runner executes one spec; nil means dramlat.Run. Tests and
+	// tools can substitute stubs or instrumented runners.
+	Runner func(dramlat.RunSpec) (dramlat.Results, error)
+	// Progress, when non-nil, receives one Event per finished spec,
+	// never concurrently.
+	Progress func(Event)
+}
+
+// Report aggregates a finished sweep.
+type Report struct {
+	Outcomes []Outcome // one per input spec, in input order
+	Executed int       // specs actually simulated
+	Cached   int       // specs served from the cache
+	Failed   int       // specs whose runner returned an error
+	Elapsed  time.Duration
+}
+
+// Err joins every failure into one error, or returns nil if all specs
+// succeeded.
+func (r *Report) Err() error {
+	var errs []error
+	for _, o := range r.Outcomes {
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("%s/%s seed %d: %w",
+				o.Spec.Benchmark, o.Spec.Scheduler, o.Spec.Seed, o.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Failures returns the failed outcomes.
+func (r *Report) Failures() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Err != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) runner() func(dramlat.RunSpec) (dramlat.Results, error) {
+	if e.Runner != nil {
+		return e.Runner
+	}
+	return dramlat.Run
+}
+
+// Run executes every spec and returns the aggregated report. One failed
+// spec never aborts the sweep — it is recorded and the rest continue.
+// Specs with equal content hashes are executed once and share the result,
+// and results are byte-identical to serial execution regardless of the
+// worker count (each simulation is self-contained and seeded).
+func (e *Engine) Run(specs []dramlat.RunSpec) *Report {
+	start := time.Now()
+	rep := &Report{Outcomes: make([]Outcome, len(specs))}
+	if len(specs) == 0 {
+		return rep
+	}
+
+	// Deduplicate by canonical hash: the first index with a given hash
+	// becomes the "leader" that actually runs.
+	leaders := make([]int, 0, len(specs))
+	followers := map[int][]int{} // leader index -> duplicate indices
+	byHash := map[string]int{}
+	for i, s := range specs {
+		h := s.Hash()
+		rep.Outcomes[i].Spec = s
+		rep.Outcomes[i].Hash = h
+		if j, ok := byHash[h]; ok {
+			followers[j] = append(followers[j], i)
+			continue
+		}
+		byHash[h] = i
+		leaders = append(leaders, i)
+	}
+
+	run := e.runner()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+
+	// mu guards the progress counters and serializes Progress calls.
+	var mu sync.Mutex
+	done, executed, cached, failed := 0, 0, 0, 0
+	var execTime time.Duration
+
+	finish := func(i int, o Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Outcomes[i].Results = o.Results
+		rep.Outcomes[i].Err = o.Err
+		rep.Outcomes[i].Cached = o.Cached
+		rep.Outcomes[i].Elapsed = o.Elapsed
+		dups := followers[i]
+		for _, j := range dups {
+			rep.Outcomes[j].Results = o.Results
+			rep.Outcomes[j].Err = o.Err
+			// Duplicates of a successful leader are effectively
+			// cache hits served by the leader's run.
+			rep.Outcomes[j].Cached = o.Err == nil
+		}
+		n := 1 + len(dups)
+		done += n
+		if o.Err != nil {
+			failed += n
+		}
+		if o.Cached {
+			cached += n
+		} else {
+			executed++
+			execTime += o.Elapsed
+			if o.Err == nil {
+				cached += n - 1
+			}
+		}
+		if e.Progress != nil {
+			// Crude ETA: mean executed cost times remaining specs,
+			// divided across the pool. Cached specs skew it low,
+			// which is the right direction for a resumed sweep.
+			var eta time.Duration
+			if executed > 0 {
+				perSpec := execTime / time.Duration(executed)
+				eta = perSpec * time.Duration(len(specs)-done) / time.Duration(e.workers())
+			}
+			e.Progress(Event{
+				Done: done, Total: len(specs),
+				Executed: executed, Cached: cached, Failed: failed,
+				Outcome: rep.Outcomes[i], ETA: eta,
+			})
+		}
+	}
+
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				spec := rep.Outcomes[i].Spec
+				if res, ok := e.Cache.Get(spec); ok {
+					finish(i, Outcome{Results: res, Cached: true})
+					continue
+				}
+				t0 := time.Now()
+				res, err := run(spec)
+				o := Outcome{Results: res, Err: err, Elapsed: time.Since(t0)}
+				if err == nil {
+					if cerr := e.Cache.Put(spec, res); cerr != nil {
+						o.Err = cerr
+					}
+				}
+				finish(i, o)
+			}
+		}()
+	}
+	for _, i := range leaders {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.Executed, rep.Cached, rep.Failed = executed, cached, failed
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// RunOne executes a single spec through the cache, for callers that
+// interleave ad-hoc runs with grid sweeps (e.g. cmd/dlbench table code).
+func (e *Engine) RunOne(spec dramlat.RunSpec) Outcome {
+	o := Outcome{Spec: spec, Hash: spec.Hash()}
+	if res, ok := e.Cache.Get(spec); ok {
+		o.Results, o.Cached = res, true
+		return o
+	}
+	t0 := time.Now()
+	res, err := e.runner()(spec)
+	o.Results, o.Err, o.Elapsed = res, err, time.Since(t0)
+	if err == nil {
+		if cerr := e.Cache.Put(spec, res); cerr != nil {
+			o.Err = cerr
+		}
+	}
+	return o
+}

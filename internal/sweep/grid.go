@@ -1,0 +1,192 @@
+// Package sweep is the experiment-execution engine behind the paper
+// reproduction: it expands declarative spec grids into dramlat.RunSpec
+// lists, executes them on a worker pool with a persistent on-disk result
+// cache, aggregates failures instead of dying on the first one, and
+// exports the aggregate as JSON or CSV. cmd/dlbench, cmd/dlsweep and
+// examples/schedcompare all run on top of it.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dramlat"
+)
+
+// Grid declares a cartesian sweep over RunSpec dimensions. A nil/empty
+// dimension means "the spec zero value" (which dramlat resolves to its
+// default), so the zero Grid with one benchmark and one scheduler is a
+// single run. Specs listed in Extra are appended verbatim after the
+// cartesian product.
+type Grid struct {
+	Benchmarks []string  `json:"benchmarks,omitempty"`
+	Schedulers []string  `json:"schedulers,omitempty"`
+	Seeds      []int64   `json:"seeds,omitempty"`
+	Scales     []float64 `json:"scales,omitempty"`
+	SMs        []int     `json:"sms,omitempty"`
+	WarpsPerSM []int     `json:"warps_per_sm,omitempty"`
+	ReadQs     []int     `json:"read_qs,omitempty"`
+	CmdQCaps   []int     `json:"cmd_q_caps,omitempty"`
+	Alphas     []float64 `json:"alphas,omitempty"`
+	Ablations  []string  `json:"ablations,omitempty"`
+	WarpScheds []string  `json:"warp_scheds,omitempty"`
+
+	PerfectCoalescing []bool `json:"perfect_coalescing,omitempty"`
+	ZeroDivergence    []bool `json:"zero_divergence,omitempty"`
+
+	Extra []dramlat.RunSpec `json:"extra,omitempty"`
+}
+
+// Size returns the number of specs Enumerate will produce.
+func (g Grid) Size() int {
+	dim := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	n := dim(len(g.Benchmarks)) * dim(len(g.Schedulers)) * dim(len(g.Seeds)) *
+		dim(len(g.Scales)) * dim(len(g.SMs)) * dim(len(g.WarpsPerSM)) *
+		dim(len(g.ReadQs)) * dim(len(g.CmdQCaps)) * dim(len(g.Alphas)) *
+		dim(len(g.Ablations)) * dim(len(g.WarpScheds)) *
+		dim(len(g.PerfectCoalescing)) * dim(len(g.ZeroDivergence))
+	return n + len(g.Extra)
+}
+
+// Enumerate expands the grid into concrete specs, benchmarks outermost so
+// per-benchmark results cluster together in reports.
+func (g Grid) Enumerate() []dramlat.RunSpec {
+	specs := []dramlat.RunSpec{{}}
+	// Each non-empty dimension multiplies the partial spec list; empty
+	// dimensions pass through, leaving the spec's zero value.
+	strDim := func(vals []string, set func(*dramlat.RunSpec, string)) {
+		if len(vals) == 0 {
+			return
+		}
+		var next []dramlat.RunSpec
+		for _, s := range specs {
+			for _, v := range vals {
+				c := s
+				set(&c, v)
+				next = append(next, c)
+			}
+		}
+		specs = next
+	}
+	intDim := func(vals []int, set func(*dramlat.RunSpec, int)) {
+		if len(vals) == 0 {
+			return
+		}
+		var next []dramlat.RunSpec
+		for _, s := range specs {
+			for _, v := range vals {
+				c := s
+				set(&c, v)
+				next = append(next, c)
+			}
+		}
+		specs = next
+	}
+	f64Dim := func(vals []float64, set func(*dramlat.RunSpec, float64)) {
+		if len(vals) == 0 {
+			return
+		}
+		var next []dramlat.RunSpec
+		for _, s := range specs {
+			for _, v := range vals {
+				c := s
+				set(&c, v)
+				next = append(next, c)
+			}
+		}
+		specs = next
+	}
+	i64Dim := func(vals []int64, set func(*dramlat.RunSpec, int64)) {
+		if len(vals) == 0 {
+			return
+		}
+		var next []dramlat.RunSpec
+		for _, s := range specs {
+			for _, v := range vals {
+				c := s
+				set(&c, v)
+				next = append(next, c)
+			}
+		}
+		specs = next
+	}
+	boolDim := func(vals []bool, set func(*dramlat.RunSpec, bool)) {
+		if len(vals) == 0 {
+			return
+		}
+		var next []dramlat.RunSpec
+		for _, s := range specs {
+			for _, v := range vals {
+				c := s
+				set(&c, v)
+				next = append(next, c)
+			}
+		}
+		specs = next
+	}
+
+	strDim(g.Benchmarks, func(s *dramlat.RunSpec, v string) { s.Benchmark = v })
+	strDim(g.Schedulers, func(s *dramlat.RunSpec, v string) { s.Scheduler = v })
+	i64Dim(g.Seeds, func(s *dramlat.RunSpec, v int64) { s.Seed = v })
+	f64Dim(g.Scales, func(s *dramlat.RunSpec, v float64) { s.Scale = v })
+	intDim(g.SMs, func(s *dramlat.RunSpec, v int) { s.SMs = v })
+	intDim(g.WarpsPerSM, func(s *dramlat.RunSpec, v int) { s.WarpsPerSM = v })
+	intDim(g.ReadQs, func(s *dramlat.RunSpec, v int) { s.ReadQ = v })
+	intDim(g.CmdQCaps, func(s *dramlat.RunSpec, v int) { s.CmdQueueCap = v })
+	f64Dim(g.Alphas, func(s *dramlat.RunSpec, v float64) { s.SBWASAlpha = v })
+	strDim(g.Ablations, func(s *dramlat.RunSpec, v string) { s.Ablation = v })
+	strDim(g.WarpScheds, func(s *dramlat.RunSpec, v string) { s.WarpSched = v })
+	boolDim(g.PerfectCoalescing, func(s *dramlat.RunSpec, v bool) { s.PerfectCoalescing = v })
+	boolDim(g.ZeroDivergence, func(s *dramlat.RunSpec, v bool) { s.ZeroDivergence = v })
+
+	specs = append(specs, g.Extra...)
+	return specs
+}
+
+// Validate rejects grids that would enumerate specs dramlat.Run refuses,
+// so a sweep fails before any work rather than per-spec.
+func (g Grid) Validate() error {
+	if len(g.Benchmarks) == 0 && len(g.Extra) == 0 {
+		return fmt.Errorf("sweep: grid selects no benchmarks")
+	}
+	known := map[string]bool{}
+	for _, b := range dramlat.Benchmarks() {
+		known[b.Name] = true
+	}
+	for _, b := range g.Benchmarks {
+		if !known[b] {
+			return fmt.Errorf("sweep: unknown benchmark %q", b)
+		}
+	}
+	scheds := map[string]bool{}
+	for _, s := range dramlat.Schedulers() {
+		scheds[s] = true
+	}
+	for _, s := range g.Schedulers {
+		if !scheds[s] {
+			return fmt.Errorf("sweep: unknown scheduler %q", s)
+		}
+	}
+	return nil
+}
+
+// ParseGrid decodes a JSON grid description (the cmd/dlsweep -grid file
+// format) and validates it.
+func ParseGrid(r io.Reader) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("sweep: parse grid: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}

@@ -133,6 +133,10 @@ func main() {
 	format := flag.String("format", "json", "output format: json or csv")
 	out := flag.String("o", "-", "output file (\"-\" = stdout)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
+	traceDir := flag.String("trace-dir", "", "write per-run telemetry artifacts into this dir (named by spec hash)")
+	traceEvents := flag.Bool("trace-events", false, "with -trace-dir: record the event trace (JSONL)")
+	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
+	sampleEvery := flag.Int64("sample-every", 0, "with -trace-dir: snapshot gauges every N ticks (CSV)")
 	flag.Parse()
 
 	if *format != "json" && *format != "csv" {
@@ -190,6 +194,15 @@ func main() {
 		}
 	}
 	eng := &sweep.Engine{Workers: *workers, Cache: cache}
+	if *traceDir != "" {
+		if !*traceEvents && *sampleEvery <= 0 {
+			fail(fmt.Errorf("-trace-dir needs -trace-events and/or -sample-every"))
+		}
+		eng.TelemetryDir = *traceDir
+		eng.Telemetry = dramlat.TelemetryOptions{
+			Events: *traceEvents, EventCap: *traceCap, SampleEvery: *sampleEvery,
+		}
+	}
 	if !*quiet {
 		eng.Progress = func(ev sweep.Event) {
 			sp := ev.Outcome.Spec.Canonical()

@@ -23,6 +23,7 @@ import (
 	"dramlat/internal/gddr5"
 	"dramlat/internal/gpu"
 	"dramlat/internal/power"
+	"dramlat/internal/telemetry"
 	"dramlat/internal/workload"
 )
 
@@ -63,7 +64,17 @@ type RunSpec struct {
 	// gives the scheduler more reordering freedom).
 	ReadQ       int
 	CmdQueueCap int
+
+	// Telemetry enables the event tracer / interval sampler for this run
+	// (see internal/telemetry and RunTelemetry). Excluded from Canonical
+	// and Hash: observability does not change simulation results, so
+	// traced and untraced runs share a result-cache entry.
+	Telemetry telemetry.Options `json:"-"`
 }
+
+// TelemetryOptions re-exports telemetry.Options for callers configuring
+// RunSpec.Telemetry without importing the internal package path.
+type TelemetryOptions = telemetry.Options
 
 // Canonical returns the spec with every zero-valued "use the default"
 // field replaced by the default it resolves to, so that two specs that
@@ -88,6 +99,9 @@ func (s RunSpec) Canonical() RunSpec {
 	if s.Seed == 0 {
 		s.Seed = p.Seed
 	}
+	// Observability does not affect the simulation: canonical specs are
+	// telemetry-free so traced and untraced runs compare equal.
+	s.Telemetry = telemetry.Options{}
 	return s
 }
 
@@ -180,18 +194,33 @@ func Config(spec RunSpec) gpu.Config {
 	if spec.CmdQueueCap > 0 {
 		cfg.CmdQueueCap = spec.CmdQueueCap
 	}
+	cfg.Telemetry = spec.Telemetry
 	return cfg
 }
 
+// Telemetry bundles a run's observability output (re-exported from
+// internal/telemetry): Tracer holds the event ring, Sampler the interval
+// snapshots.
+type Telemetry = telemetry.Telemetry
+
 // Run executes one simulation.
 func Run(spec RunSpec) (Results, error) {
+	res, _, err := RunTelemetry(spec)
+	return res, err
+}
+
+// RunTelemetry executes one simulation and additionally returns its
+// telemetry bundle — nil unless spec.Telemetry enables a subsystem. The
+// bundle is returned even when the run errors out on MaxTicks, so a hung
+// configuration can be diagnosed from its partial trace.
+func RunTelemetry(spec RunSpec) (Results, *Telemetry, error) {
 	b, err := workload.ByName(spec.Benchmark)
 	if err != nil {
-		return Results{}, err
+		return Results{}, nil, err
 	}
 	cfg := Config(spec)
 	if err := cfg.Validate(); err != nil {
-		return Results{}, err
+		return Results{}, nil, err
 	}
 	p := workload.DefaultParams()
 	p.NumSMs = cfg.NumSMs
@@ -204,13 +233,13 @@ func Run(spec RunSpec) (Results, error) {
 	}
 	sys, err := gpu.NewSystem(cfg, b.Build(p))
 	if err != nil {
-		return Results{}, err
+		return Results{}, nil, err
 	}
 	res := sys.Run()
 	if !res.Drained {
-		return res, fmt.Errorf("dramlat: %s/%s hit MaxTicks before completing", spec.Benchmark, spec.Scheduler)
+		return res, sys.Tel, fmt.Errorf("dramlat: %s/%s hit MaxTicks before completing", spec.Benchmark, spec.Scheduler)
 	}
-	return res, nil
+	return res, sys.Tel, nil
 }
 
 // MERBTable returns Table I for the default GDDR5 timings.

@@ -21,6 +21,7 @@ import (
 	"dramlat/internal/gddr5"
 	"dramlat/internal/memctrl"
 	"dramlat/internal/memreq"
+	"dramlat/internal/telemetry"
 )
 
 // Score constants of Section IV-B1: a projected row hit costs 1 unit, a
@@ -128,8 +129,13 @@ type WarpScheduler struct {
 	// Section IV-D (row misses may strand 1-2 row hits behind them).
 	NoOrphanControl bool
 
-	ctl       *memctrl.Controller
-	merbTable []int
+	// Probe receives MERB streak begin/end trace events; nil disables
+	// tracing (one branch per event site).
+	Probe *telemetry.Tracer
+
+	ctl        *memctrl.Controller
+	merbTable  []int
+	merbStreak []bool // per bank: a filler streak is protecting the row
 
 	groups  map[memreq.GroupID]*group
 	order   []*group // arrival order
@@ -204,6 +210,7 @@ func (w *WarpScheduler) Attach(ctl *memctrl.Controller) {
 	w.ctl = ctl
 	w.bankPending = make([]int, ctl.Chan.NumBanks)
 	w.merbTable = ctl.Chan.T.MERBTable(ctl.Chan.NumBanks)
+	w.merbStreak = make([]bool, ctl.Chan.NumBanks)
 }
 
 // Pending implements memctrl.Scheduler.
@@ -481,10 +488,33 @@ func (w *WarpScheduler) NextRead(now int64) *memreq.Request {
 	// let 1-2 orphan hits ride along (Section IV-D).
 	if w.MERB && !r.Dispatched {
 		if filler := w.merbFiller(r); filler != nil {
+			if w.Probe != nil && !w.merbStreak[filler.Bank] {
+				w.merbStreak[filler.Bank] = true
+				w.Probe.MERBStreakBegin(now, w.ChannelID, filler.Bank, filler.Row)
+			}
 			return w.dispatch(filler)
+		}
+		if w.Probe != nil && w.merbStreak[r.Bank] {
+			// The protected miss proceeds: the filler streak is over.
+			w.merbStreak[r.Bank] = false
+			w.Probe.MERBStreakEnd(now, w.ChannelID, r.Bank)
 		}
 	}
 	return w.dispatch(r)
+}
+
+// FlushTelemetry closes any MERB streak span still open at end of run, so
+// begin/end pairs balance in the exported trace.
+func (w *WarpScheduler) FlushTelemetry(now int64) {
+	if w.Probe == nil {
+		return
+	}
+	for b, open := range w.merbStreak {
+		if open {
+			w.merbStreak[b] = false
+			w.Probe.MERBStreakEnd(now, w.ChannelID, b)
+		}
+	}
 }
 
 // exhausted reports whether g has no undispatched requests left to give.

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"dramlat/internal/gddr5"
+	"dramlat/internal/telemetry"
 )
 
 // Config collects every simulation parameter. DefaultConfig reproduces
@@ -81,6 +82,11 @@ type Config struct {
 	// CmdLog, when non-nil, receives one line per issued DRAM command
 	// ("tick chN TYPE bank row") for debugging and external analysis.
 	CmdLog io.Writer
+
+	// Telemetry configures the event tracer and interval sampler. The
+	// zero value disables both; disabled telemetry costs one nil-check
+	// branch per instrumentation site (see BenchmarkRunTelemetryOff).
+	Telemetry telemetry.Options
 }
 
 // Schedulers lists the supported policy names in evaluation order: the

@@ -7,9 +7,11 @@ import (
 	"dramlat/internal/addrmap"
 	"dramlat/internal/cache"
 	"dramlat/internal/core"
+	"dramlat/internal/dram"
 	"dramlat/internal/memctrl"
 	"dramlat/internal/memreq"
 	"dramlat/internal/stats"
+	"dramlat/internal/telemetry"
 	"dramlat/internal/xbar"
 )
 
@@ -37,8 +39,10 @@ type partition struct {
 	mshrCap   int
 	l2Lat     int64
 	nextID    func() uint64
-	noCredits bool      // ablation: drop group-complete credits
-	cmdLog    io.Writer // optional DRAM command trace
+	noCredits bool               // ablation: drop group-complete credits
+	cmdLog    io.Writer          // optional DRAM command trace
+	probe     *telemetry.Tracer  // nil disables event tracing
+	tsamp     *telemetry.Sampler // nil disables interval sampling
 
 	L2Hits, L2Misses, L2Merges int64
 }
@@ -52,12 +56,18 @@ func (p *partition) onReadDone(r *memreq.Request, now int64) {
 	if p.col != nil {
 		p.col.OnDRAMDone(r.Group, now)
 	}
+	if p.probe != nil {
+		p.probe.Done(now, p.id, r.Group, r.ID)
+	}
 	p.x.Respond(p.id, r, now)
 	if m != nil {
 		for _, w := range m.Waiters {
 			mr := w.(*memreq.Request)
 			if p.col != nil {
 				p.col.OnDRAMDone(mr.Group, now)
+			}
+			if p.probe != nil {
+				p.probe.Done(now, p.id, mr.Group, r.ID)
 			}
 			p.x.Respond(p.id, mr, now)
 		}
@@ -161,6 +171,56 @@ func (p *partition) Tick(now int64) {
 	if cmd != nil && p.cmdLog != nil {
 		fmt.Fprintf(p.cmdLog, "%d ch%d %s b%d r%d\n", now, p.id, cmd.Type, cmd.Bank, cmd.Row)
 	}
+	if cmd != nil && p.probe != nil {
+		p.emitCommand(cmd, now)
+	}
+}
+
+// emitCommand translates one issued DRAM command into a trace event.
+func (p *partition) emitCommand(cmd *dram.Command, now int64) {
+	var kind telemetry.Kind
+	row := cmd.Row
+	switch cmd.Type {
+	case dram.CmdACT:
+		kind = telemetry.EvACT
+	case dram.CmdPRE:
+		kind, row = telemetry.EvPRE, -1
+	case dram.CmdRD:
+		kind = telemetry.EvRD
+	case dram.CmdWR:
+		kind = telemetry.EvWR
+	default:
+		return
+	}
+	var r *memreq.Request
+	if cmd.Txn != nil {
+		r = cmd.Txn.Req
+	}
+	p.probe.Command(now, kind, p.id, cmd.Bank, row, r)
+}
+
+// sample appends one ChannelSample snapshot; gpu.Run owns the cadence.
+func (p *partition) sample(now int64) {
+	queued := 0
+	for b := 0; b < p.ctl.Chan.NumBanks; b++ {
+		queued += p.ctl.Chan.QueuedTxns(b)
+	}
+	cs := p.ctl.Chan.Stats
+	p.tsamp.Channels = append(p.tsamp.Channels, telemetry.ChannelSample{
+		Tick:    now,
+		Channel: p.id,
+
+		ReadQ:      p.ctl.ReadOccupancy(),
+		WriteQ:     p.ctl.WriteOccupancy(),
+		Draining:   p.ctl.Draining(),
+		QueuedTxns: queued,
+
+		ACTs: cs.ACTs, PREs: cs.PREs,
+		RDBursts: cs.RDBursts, WRBursts: cs.WRBursts,
+		HitTxns: cs.HitTxns, MissTxns: cs.MissTxns,
+		BusyTicks:     cs.BusyTicks,
+		DrainsStarted: p.ctl.Stats.DrainsStarted,
+	})
 }
 
 // drained reports whether the partition holds no in-flight work.

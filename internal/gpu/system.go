@@ -12,6 +12,7 @@ import (
 	"dramlat/internal/memreq"
 	"dramlat/internal/sm"
 	"dramlat/internal/stats"
+	"dramlat/internal/telemetry"
 	"dramlat/internal/xbar"
 )
 
@@ -64,6 +65,9 @@ type System struct {
 	Cfg    Config
 	Mapper *addrmap.Mapper
 	Col    *stats.Collector
+	// Tel holds the run's telemetry subsystems; nil when Cfg.Telemetry is
+	// the zero value.
+	Tel *telemetry.Telemetry
 
 	sms   []*sm.SM
 	pops  []func() *memreq.Request
@@ -92,6 +96,12 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		Mapper: addrmap.New(cfg.NumChannels, cfg.NumBanks),
 		Col:    stats.NewCollector(),
 		x:      xbar.New(cfg.NumSMs, cfg.NumChannels, cfg.XbarLat, cfg.XbarQueue),
+		Tel:    telemetry.New(cfg.Telemetry),
+	}
+	var tracer *telemetry.Tracer
+	var sampler *telemetry.Sampler
+	if s.Tel != nil {
+		tracer, sampler = s.Tel.Tracer, s.Tel.Sampler
 	}
 	if cfg.Scheduler == "wafcfs" {
 		s.x.NoInterleave = true
@@ -111,6 +121,10 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		sched, ws := s.buildScheduler(ch)
 		ctl := memctrl.New(channel, sched, cfg.ReadQ, cfg.WriteQ, cfg.HighWM, cfg.LowWM)
 		ctl.WriteAgeDrain = cfg.WriteAgeDrain
+		ctl.Probe, ctl.ChannelID = tracer, ch
+		if ws != nil {
+			ws.Probe = tracer
+		}
 		if cfg.Scheduler == "sbwas" {
 			ctl.Writes = memctrl.Interleaved
 		}
@@ -126,6 +140,8 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 			nextID:    s.nextID,
 			noCredits: cfg.Ablation == "no-credits",
 			cmdLog:    cfg.CmdLog,
+			probe:     tracer,
+			tsamp:     sampler,
 		}
 		ctl.OnReadDone = p.onReadDone
 		s.parts = append(s.parts, p)
@@ -146,6 +162,8 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 			PerfectCoalescing: cfg.PerfectCoalescing,
 			NextID:            s.nextID,
 			Collector:         s.Col,
+			Probe:             tracer,
+			ClassifyStalls:    sampler != nil,
 		}
 		smID := id
 		smCfg.Inject = func(r *memreq.Request, now int64) bool {
@@ -208,6 +226,13 @@ func (s *System) buildScheduler(ch int) (memctrl.Scheduler, *core.WarpScheduler)
 // the paper's IPC measurement.
 func (s *System) Run() Results {
 	doneTick := int64(-1)
+	// nextSample keeps the per-tick telemetry cost to one compare when
+	// sampling is off (it never matches).
+	nextSample := int64(-1)
+	lastSample := int64(-1)
+	if s.Tel != nil && s.Tel.Sampler != nil {
+		nextSample = s.Tel.Sampler.Every
+	}
 	for s.now = 0; s.now < s.Cfg.MaxTicks; s.now++ {
 		now := s.now
 		for i, c := range s.sms {
@@ -215,6 +240,11 @@ func (s *System) Run() Results {
 		}
 		for _, p := range s.parts {
 			p.Tick(now)
+		}
+		if now == nextSample {
+			s.sample(now)
+			lastSample = now
+			nextSample = now + s.Tel.Sampler.Every
 		}
 		all := true
 		for _, c := range s.sms {
@@ -228,7 +258,48 @@ func (s *System) Run() Results {
 			break
 		}
 	}
+	if s.Tel != nil {
+		s.flushTelemetry(lastSample)
+	}
 	return s.results(doneTick)
+}
+
+// flushTelemetry takes the final interval sample and closes any spans
+// (write drains, MERB streaks) still open at end of run, so exported
+// traces have balanced begin/end pairs.
+func (s *System) flushTelemetry(lastSample int64) {
+	if s.Tel.Sampler != nil && s.now > lastSample {
+		s.sample(s.now)
+	}
+	for _, p := range s.parts {
+		p.ctl.FlushTelemetry(s.now)
+		if p.ws != nil {
+			p.ws.FlushTelemetry(s.now)
+		}
+	}
+}
+
+// sample snapshots every channel, every SM and the global gauges.
+func (s *System) sample(now int64) {
+	for _, p := range s.parts {
+		p.sample(now)
+	}
+	samp := s.Tel.Sampler
+	for i, c := range s.sms {
+		samp.SMs = append(samp.SMs, telemetry.SMSample{
+			Tick: now, SM: i,
+			Instr:   c.InstrIssued,
+			Active:  c.ActiveTicks,
+			IdleMem: c.IdleMemTicks,
+			IdleLSU: c.IdleLSUTicks,
+			Idle:    c.IdleTicks,
+		})
+	}
+	samp.Globals = append(samp.Globals, telemetry.GlobalSample{
+		Tick:              now,
+		OutstandingGroups: s.Col.Outstanding(),
+		CompletedGroups:   len(s.Col.Done()),
+	})
 }
 
 func (s *System) results(doneTick int64) Results {

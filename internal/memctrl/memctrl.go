@@ -9,6 +9,7 @@ package memctrl
 import (
 	"dramlat/internal/dram"
 	"dramlat/internal/memreq"
+	"dramlat/internal/telemetry"
 )
 
 // WritePolicy selects how writes reach DRAM.
@@ -101,6 +102,12 @@ type Controller struct {
 	// OnWriteDone fires when a write's data transfer completes.
 	OnWriteDone func(r *memreq.Request, now int64)
 
+	// Probe receives queue enqueue/dequeue and write-drain trace events;
+	// nil disables tracing (one branch per event site). ChannelID tags
+	// the events with this controller's channel.
+	Probe     *telemetry.Tracer
+	ChannelID int
+
 	Stats Stats
 }
 
@@ -160,6 +167,12 @@ func (ctl *Controller) AcceptRead(r *memreq.Request, now int64) bool {
 		r.Arrive = now
 		ctl.Stats.ReadsAccepted++
 		ctl.Chan.EnqueueBusOnly(r)
+		if ctl.Probe != nil {
+			// Bus-only requests skip the queue, so trace the enqueue
+			// and dispatch together to keep request lifecycles paired.
+			ctl.Probe.EnqueueRead(now, ctl.ChannelID, r, ctl.readCount)
+			ctl.Probe.DequeueRead(now, ctl.ChannelID, r, ctl.readCount)
+		}
 		return true
 	}
 	if ctl.readCount >= ctl.ReadCap {
@@ -170,6 +183,9 @@ func (ctl *Controller) AcceptRead(r *memreq.Request, now int64) bool {
 	r.Arrive = now
 	ctl.Stats.ReadsAccepted++
 	ctl.Sched.OnEnqueue(r, now)
+	if ctl.Probe != nil {
+		ctl.Probe.EnqueueRead(now, ctl.ChannelID, r, ctl.readCount)
+	}
 	return true
 }
 
@@ -183,6 +199,9 @@ func (ctl *Controller) AcceptWrite(r *memreq.Request, now int64) bool {
 	r.Arrive = now
 	ctl.writeQ = append(ctl.writeQ, r)
 	ctl.Stats.WritesAccepted++
+	if ctl.Probe != nil {
+		ctl.Probe.EnqueueWrite(now, ctl.ChannelID, r, len(ctl.writeQ))
+	}
 	return true
 }
 
@@ -239,7 +258,18 @@ func (ctl *Controller) dispatchRead(now int64) bool {
 	}
 	ctl.readCount--
 	ctl.Chan.Enqueue(r)
+	if ctl.Probe != nil {
+		ctl.Probe.DequeueRead(now, ctl.ChannelID, r, ctl.readCount)
+	}
 	return true
+}
+
+// dispatchWrite moves a write into the DRAM command queues.
+func (ctl *Controller) dispatchWrite(w *memreq.Request, now int64) {
+	ctl.Chan.Enqueue(w)
+	if ctl.Probe != nil {
+		ctl.Probe.DequeueWrite(now, ctl.ChannelID, w, len(ctl.writeQ))
+	}
 }
 
 // Tick advances the controller one cycle: it updates the drain state
@@ -263,17 +293,23 @@ func (ctl *Controller) Tick(now int64) *dram.Command {
 					ctl.drainTarget = 0
 				}
 				ctl.Stats.DrainsStarted++
+				if ctl.Probe != nil {
+					ctl.Probe.DrainBegin(now, ctl.ChannelID, len(ctl.writeQ))
+				}
 				if obs, ok := ctl.Sched.(DrainObserver); ok {
 					obs.OnDrainStart(now)
 				}
 			}
 		} else if len(ctl.writeQ) <= ctl.drainTarget {
 			ctl.draining = false
+			if ctl.Probe != nil {
+				ctl.Probe.DrainEnd(now, ctl.ChannelID, len(ctl.writeQ))
+			}
 		}
 		if ctl.draining {
 			ctl.Stats.DrainTicks++
 			if w := ctl.nextWrite(); w != nil {
-				ctl.Chan.Enqueue(w)
+				ctl.dispatchWrite(w, now)
 			}
 		} else {
 			ctl.dispatchRead(now)
@@ -290,7 +326,7 @@ func (ctl *Controller) Tick(now int64) *dram.Command {
 		}
 		if tryWrite {
 			if w := ctl.nextWrite(); w != nil {
-				ctl.Chan.Enqueue(w)
+				ctl.dispatchWrite(w, now)
 				ctl.wrAlt = false
 			} else if ctl.dispatchRead(now) {
 				ctl.wrAlt = true
@@ -299,7 +335,7 @@ func (ctl *Controller) Tick(now int64) *dram.Command {
 			if ctl.dispatchRead(now) {
 				ctl.wrAlt = true
 			} else if w := ctl.nextWrite(); w != nil {
-				ctl.Chan.Enqueue(w)
+				ctl.dispatchWrite(w, now)
 				ctl.wrAlt = false
 			}
 		}
@@ -310,4 +346,12 @@ func (ctl *Controller) Tick(now int64) *dram.Command {
 // Idle reports whether the controller holds no work at all.
 func (ctl *Controller) Idle() bool {
 	return ctl.readCount == 0 && len(ctl.writeQ) == 0 && ctl.Chan.Idle()
+}
+
+// FlushTelemetry closes any trace span still open at end of run (a drain
+// in progress when the last warp retired), so begin/end pairs balance.
+func (ctl *Controller) FlushTelemetry(now int64) {
+	if ctl.Probe != nil && ctl.draining {
+		ctl.Probe.DrainEnd(now, ctl.ChannelID, len(ctl.writeQ))
+	}
 }

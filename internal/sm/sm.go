@@ -12,6 +12,7 @@ import (
 	"dramlat/internal/coalesce"
 	"dramlat/internal/memreq"
 	"dramlat/internal/stats"
+	"dramlat/internal/telemetry"
 )
 
 // InsnKind enumerates warp instruction kinds.
@@ -87,6 +88,14 @@ type Config struct {
 	NextID func() uint64
 
 	Collector *stats.Collector
+
+	// Probe receives warp-load issue/unblock trace events; nil disables
+	// tracing at the cost of one branch per event site.
+	Probe *telemetry.Tracer
+	// ClassifyStalls splits IdleTicks into the IdleMem/IdleLSU breakdown
+	// for the interval sampler. Off by default: the classification scans
+	// warp state on idle cycles, which the no-telemetry path must not pay.
+	ClassifyStalls bool
 }
 
 // SM is one SIMT core.
@@ -107,8 +116,13 @@ type SM struct {
 	// of Section III-A that multithreading fails to hide.
 	IdleTicks   int64
 	ActiveTicks int64
-	L1          *cache.Cache // exported for stats
-	DoneTick    int64
+	// IdleMemTicks / IdleLSUTicks break IdleTicks down by cause when
+	// Config.ClassifyStalls is set: all live warps blocked on memory vs
+	// the LSU replay queue backing up. The remainder is compute latency.
+	IdleMemTicks int64
+	IdleLSUTicks int64
+	L1           *cache.Cache // exported for stats
+	DoneTick     int64
 }
 
 // New builds an SM running the given per-warp programs.
@@ -176,11 +190,34 @@ func (s *SM) credit(wt waiter, now int64) {
 		// DRAM bandwidth.
 		w.blocked = false
 		w.readyAt = now + 1
+		if s.cfg.Probe != nil {
+			s.cfg.Probe.LoadUnblock(now, wt.gid)
+		}
 		return
 	}
 	if left <= 0 {
 		w.blocked = false
 		w.readyAt = now + 1
+		if s.cfg.Probe != nil {
+			s.cfg.Probe.LoadUnblock(now, wt.gid)
+		}
+	}
+}
+
+// classifyStall attributes one idle cycle to its cause, for the interval
+// sampler's stall breakdown. Memory wins over LSU back-pressure: if any
+// live warp is blocked on a load, multithreading has run out of warps to
+// hide that latency with (Section III-A), which is the condition the
+// paper's schedulers attack.
+func (s *SM) classifyStall() {
+	for _, w := range s.warps {
+		if !w.done && w.blocked {
+			s.IdleMemTicks++
+			return
+		}
+	}
+	if len(s.replay) > 0 {
+		s.IdleLSUTicks++
 	}
 }
 
@@ -263,6 +300,9 @@ func (s *SM) issue(now int64) {
 	if w == nil {
 		if s.active > 0 {
 			s.IdleTicks++
+			if s.cfg.ClassifyStalls {
+				s.classifyStall()
+			}
 		}
 		return
 	}
@@ -348,6 +388,11 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 	if len(missing) == 0 {
 		w.readyAt = now + s.cfg.L1Lat
 		return
+	}
+	if s.cfg.Probe != nil {
+		// Only loads that enter the memory system are traced, so every
+		// issue gets a matching unblock in a drained run.
+		s.cfg.Probe.LoadIssue(now, gid, len(lines), len(missing))
 	}
 	w.pending[load] = len(missing)
 	w.curLoad = load

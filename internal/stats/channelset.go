@@ -1,0 +1,45 @@
+package stats
+
+import "math/bits"
+
+// ChannelSet is the set of memory-controller channels a warp-group's
+// requests touched (Fig 3). The inline word covers channels 0-63 with a
+// single OR per insertion; wider machines spill into an overflow map, so
+// a channel index beyond the word cannot silently truncate the count the
+// way the old uint32 mask could.
+type ChannelSet struct {
+	word uint64
+	over map[int]struct{} // channels >= 64; nil until one appears
+}
+
+// Add inserts channel ch into the set. Negative channels are ignored.
+func (s *ChannelSet) Add(ch int) {
+	switch {
+	case ch < 0:
+	case ch < 64:
+		s.word |= 1 << uint(ch)
+	default:
+		if s.over == nil {
+			s.over = make(map[int]struct{})
+		}
+		s.over[ch] = struct{}{}
+	}
+}
+
+// Has reports whether channel ch is in the set.
+func (s ChannelSet) Has(ch int) bool {
+	switch {
+	case ch < 0:
+		return false
+	case ch < 64:
+		return s.word&(1<<uint(ch)) != 0
+	default:
+		_, ok := s.over[ch]
+		return ok
+	}
+}
+
+// Count returns the number of distinct channels in the set.
+func (s ChannelSet) Count() int {
+	return bits.OnesCount64(s.word) + len(s.over)
+}

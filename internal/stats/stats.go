@@ -24,8 +24,8 @@ type GroupRec struct {
 	// MCArrived is the number of requests that reached a DRAM memory
 	// controller's read queue.
 	MCArrived int
-	// ChannelMask is the set of memory controllers touched (Fig 3).
-	ChannelMask uint32
+	// Channels is the set of memory controllers touched (Fig 3).
+	Channels ChannelSet
 
 	// DRAM service window (Figs 3, 10).
 	FirstDRAMDone int64
@@ -93,7 +93,7 @@ func (c *Collector) OnStoreIssue(lines int) {
 func (c *Collector) OnMCArrive(id memreq.GroupID, ch int) {
 	if g, ok := c.groups[id]; ok {
 		g.MCArrived++
-		g.ChannelMask |= 1 << uint(ch)
+		g.Channels.Add(ch)
 	}
 }
 
@@ -140,14 +140,6 @@ func (c *Collector) Done() []*GroupRec { return c.done }
 // the end of a drained run).
 func (c *Collector) Outstanding() int { return len(c.groups) }
 
-func popcount(m uint32) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
-}
-
 // Summary is the digest of one run's warp-load behaviour.
 type Summary struct {
 	Loads         int64
@@ -169,7 +161,9 @@ type Summary struct {
 }
 
 // Percentile returns the p-th percentile (0..100) of the DRAM divergence
-// gaps over multi-request groups, for distribution-level reporting.
+// gaps over multi-request groups, linearly interpolated between the two
+// closest ranks (so e.g. p50 of {10, 20} is 15, not 10 as the old
+// truncating index computed).
 func (c *Collector) Percentile(p float64) float64 {
 	var gaps []float64
 	for _, g := range c.done {
@@ -177,18 +171,23 @@ func (c *Collector) Percentile(p float64) float64 {
 			gaps = append(gaps, float64(g.LastDRAMDone-g.FirstDRAMDone))
 		}
 	}
-	if len(gaps) == 0 {
+	n := len(gaps)
+	if n == 0 {
 		return 0
 	}
 	sort.Float64s(gaps)
-	idx := int(p / 100 * float64(len(gaps)-1))
-	if idx < 0 {
-		idx = 0
+	if p <= 0 {
+		return gaps[0]
 	}
-	if idx >= len(gaps) {
-		idx = len(gaps) - 1
+	if p >= 100 {
+		return gaps[n-1]
 	}
-	return gaps[idx]
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	if lo+1 >= n {
+		return gaps[n-1]
+	}
+	return gaps[lo] + (rank-float64(lo))*(gaps[lo+1]-gaps[lo])
 }
 
 // Summarize computes the digest.
@@ -203,7 +202,7 @@ func (c *Collector) Summarize() Summary {
 	var mcN, gapN, ratioN, effN int64
 	for _, g := range c.done {
 		if g.MCArrived > 0 {
-			mcSum += float64(popcount(g.ChannelMask))
+			mcSum += float64(g.Channels.Count())
 			mcN++
 		}
 		if g.DRAMDone >= 2 {

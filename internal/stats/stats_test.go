@@ -46,8 +46,8 @@ func TestGroupLifecycle(t *testing.T) {
 	if g.FirstDRAMDone != 300 || g.LastDRAMDone != 450 {
 		t.Fatalf("dram window %d..%d", g.FirstDRAMDone, g.LastDRAMDone)
 	}
-	if g.MCArrived != 3 || g.ChannelMask != (1|1<<4) {
-		t.Fatalf("mc arrival: %d mask %b", g.MCArrived, g.ChannelMask)
+	if g.MCArrived != 3 || g.Channels.Count() != 2 || !g.Channels.Has(0) || !g.Channels.Has(4) {
+		t.Fatalf("mc arrival: %d channels %d", g.MCArrived, g.Channels.Count())
 	}
 }
 
@@ -124,14 +124,50 @@ func TestEmptySummary(t *testing.T) {
 	}
 }
 
-func TestPopcount(t *testing.T) {
-	for m, want := range map[uint32]int{0: 0, 1: 1, 0b101011: 4, 0xffffffff: 32} {
-		if got := popcount(m); got != want {
-			t.Fatalf("popcount(%b) = %d, want %d", m, got, want)
+func TestChannelSet(t *testing.T) {
+	var s ChannelSet
+	if s.Count() != 0 || s.Has(0) {
+		t.Fatal("zero set not empty")
+	}
+	for _, ch := range []int{0, 5, 5, 63, 64, 100, -1} {
+		s.Add(ch)
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5 (dup and negative must not count)", got)
+	}
+	for _, ch := range []int{0, 5, 63, 64, 100} {
+		if !s.Has(ch) {
+			t.Fatalf("missing channel %d", ch)
+		}
+	}
+	for _, ch := range []int{1, 62, 65, 101, -1} {
+		if s.Has(ch) {
+			t.Fatalf("phantom channel %d", ch)
 		}
 	}
 }
 
+// TestChannelSetWide pins that channel indices beyond one machine word do
+// not truncate the Fig 3 controllers-touched count (the old uint32 mask
+// aliased channel 32 onto channel 0).
+func TestChannelSetWide(t *testing.T) {
+	c := NewCollector()
+	c.OnLoadIssue(gid(1), 0, 80, 80)
+	for ch := 0; ch < 80; ch++ {
+		c.OnMCArrive(gid(1), ch)
+	}
+	c.OnDRAMDone(gid(1), 10)
+	for i := 0; i < 80; i++ {
+		c.OnResp(gid(1), 20)
+	}
+	if got := c.Done()[0].Channels.Count(); got != 80 {
+		t.Fatalf("channels touched = %d, want 80", got)
+	}
+}
+
+// TestPercentile pins the linear-interpolation definition on gaps 10..100:
+// rank = p/100*(n-1), interpolated between the two closest order
+// statistics.
 func TestPercentile(t *testing.T) {
 	c := NewCollector()
 	for i := 1; i <= 10; i++ {
@@ -142,17 +178,89 @@ func TestPercentile(t *testing.T) {
 		c.OnResp(g, 200)
 		c.OnResp(g, 300)
 	}
-	if got := c.Percentile(0); got != 10 {
-		t.Fatalf("p0 = %v", got)
-	}
-	if got := c.Percentile(100); got != 100 {
-		t.Fatalf("p100 = %v", got)
-	}
-	mid := c.Percentile(50)
-	if mid < 40 || mid > 60 {
-		t.Fatalf("p50 = %v", mid)
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{-5, 10},   // clamped below
+		{0, 10},    // p0 = min
+		{25, 32.5}, // rank 2.25 between 30 and 40
+		{50, 55},   // rank 4.5 between 50 and 60
+		{90, 91},   // rank 8.1 between 90 and 100
+		{99, 99.1}, // rank 8.91 between 90 and 100
+		{100, 100}, // p100 = max
+		{150, 100}, // clamped above
+	} {
+		if got := c.Percentile(tc.p); got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Fatalf("p%v = %v, want %v", tc.p, got, tc.want)
+		}
 	}
 	if NewCollector().Percentile(50) != 0 {
 		t.Fatal("empty percentile not 0")
+	}
+}
+
+// TestPercentileSingleGroup covers the n=1 degenerate distribution: every
+// percentile is the lone gap.
+func TestPercentileSingleGroup(t *testing.T) {
+	c := NewCollector()
+	c.OnLoadIssue(gid(1), 0, 2, 2)
+	c.OnDRAMDone(gid(1), 100)
+	c.OnDRAMDone(gid(1), 140)
+	c.OnResp(gid(1), 150)
+	c.OnResp(gid(1), 160)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := c.Percentile(p); got != 40 {
+			t.Fatalf("p%v = %v, want 40", p, got)
+		}
+	}
+}
+
+func TestOutstandingAtDrain(t *testing.T) {
+	c := NewCollector()
+	c.OnLoadIssue(gid(1), 0, 2, 2)
+	c.OnLoadIssue(gid(2), 0, 3, 3)
+	c.OnResp(gid(1), 50)
+	if c.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d, want 2", c.Outstanding())
+	}
+	c.OnResp(gid(1), 60) // finalizes group 1
+	if c.Outstanding() != 1 || len(c.Done()) != 1 {
+		t.Fatalf("outstanding = %d done = %d", c.Outstanding(), len(c.Done()))
+	}
+	// Group 2 never completes: it stays outstanding (a MaxTicks run).
+	if s := c.Summarize(); s.MemGroups != 1 {
+		t.Fatalf("mem groups %d, want 1 (unfinalized group must not count)", s.MemGroups)
+	}
+}
+
+// TestDuplicateFinalizationGuard pins that responses beyond Sent cannot
+// finalize (and double-append) a group twice.
+func TestDuplicateFinalizationGuard(t *testing.T) {
+	c := NewCollector()
+	c.OnLoadIssue(gid(1), 0, 1, 1)
+	c.OnResp(gid(1), 10)
+	c.OnResp(gid(1), 20) // late duplicate: group already finalized+removed
+	if len(c.Done()) != 1 {
+		t.Fatalf("done = %d, want 1", len(c.Done()))
+	}
+	if g := c.Done()[0]; g.LastResp != 10 || !g.Completed {
+		t.Fatalf("finalized record mutated by late response: %+v", g)
+	}
+}
+
+// TestOnLoadIssueZeroSentThenEvents covers the sent==0 path followed by
+// stray downstream events for the same ID: nothing may be tracked.
+func TestOnLoadIssueZeroSentThenEvents(t *testing.T) {
+	c := NewCollector()
+	c.OnLoadIssue(gid(7), 0, 2, 0)
+	c.OnMCArrive(gid(7), 1)
+	c.OnDRAMDone(gid(7), 30)
+	c.OnResp(gid(7), 40)
+	if c.Outstanding() != 0 || len(c.Done()) != 0 {
+		t.Fatal("zero-sent load leaked into tracking")
+	}
+	if s := c.Summarize(); s.Loads != 1 || s.MemGroups != 0 {
+		t.Fatalf("summary %+v", s)
 	}
 }

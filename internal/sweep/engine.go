@@ -44,6 +44,14 @@ type Engine struct {
 	// Progress, when non-nil, receives one Event per finished spec,
 	// never concurrently.
 	Progress func(Event)
+	// Telemetry, when it enables a subsystem and TelemetryDir is set,
+	// applies to every spec the engine actually executes; each run's
+	// artifacts (events JSONL, interval CSVs) land in TelemetryDir named
+	// by the spec's canonical hash. Cache hits have no live run to trace,
+	// so resumed sweeps only emit artifacts for freshly executed specs.
+	// Ignored when a custom Runner is installed.
+	Telemetry    dramlat.TelemetryOptions
+	TelemetryDir string
 }
 
 // Report aggregates a finished sweep.
@@ -89,6 +97,9 @@ func (e *Engine) workers() int {
 func (e *Engine) runner() func(dramlat.RunSpec) (dramlat.Results, error) {
 	if e.Runner != nil {
 		return e.Runner
+	}
+	if e.Telemetry.Enabled() && e.TelemetryDir != "" {
+		return e.telemetryRunner
 	}
 	return dramlat.Run
 }

@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dramlat"
+	"dramlat/internal/telemetry"
+)
+
+// telemetryRunner executes one spec with the engine's telemetry options
+// applied and writes the artifacts before returning, so a sweep's traces
+// are complete as soon as the Progress event for the spec fires.
+func (e *Engine) telemetryRunner(spec dramlat.RunSpec) (dramlat.Results, error) {
+	spec.Telemetry = e.Telemetry
+	res, tel, err := dramlat.RunTelemetry(spec)
+	if tel != nil {
+		// A MaxTicks run still has a (partial) trace worth keeping.
+		if werr := WriteArtifacts(e.TelemetryDir, spec.Hash(), tel); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return res, err
+}
+
+// WriteArtifacts writes one run's telemetry bundle into dir, one file per
+// enabled subsystem, named by the run's spec hash:
+//
+//	<hash>.events.jsonl   event trace (tracer enabled)
+//	<hash>.channels.csv   per-channel interval table (sampler enabled)
+//	<hash>.sms.csv        per-SM stall interval table (sampler enabled)
+//
+// Returned paths are the files actually written.
+func WriteArtifacts(dir, hash string, tel *dramlat.Telemetry) error {
+	if tel == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: telemetry dir: %w", err)
+	}
+	write := func(name string, emit func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, hash+name))
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tel.Tracer != nil {
+		err := write(".events.jsonl", func(f *os.File) error {
+			return telemetry.WriteJSONL(f, tel.Tracer.Events())
+		})
+		if err != nil {
+			return fmt.Errorf("sweep: events: %w", err)
+		}
+	}
+	if tel.Sampler != nil {
+		err := write(".channels.csv", func(f *os.File) error {
+			return telemetry.WriteChannelCSV(f, tel.Sampler.ChannelIntervals())
+		})
+		if err != nil {
+			return fmt.Errorf("sweep: channel intervals: %w", err)
+		}
+		err = write(".sms.csv", func(f *os.File) error {
+			return telemetry.WriteSMCSV(f, tel.Sampler.SMIntervals())
+		})
+		if err != nil {
+			return fmt.Errorf("sweep: sm intervals: %w", err)
+		}
+	}
+	return nil
+}

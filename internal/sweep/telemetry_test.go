@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dramlat"
+	"dramlat/internal/telemetry"
+)
+
+func TestSweepTelemetryArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	spec := dramlat.RunSpec{
+		Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.05, SMs: 2, WarpsPerSM: 4,
+	}
+	eng := &Engine{
+		Workers:      1,
+		Telemetry:    dramlat.TelemetryOptions{Events: true, SampleEvery: 200},
+		TelemetryDir: dir,
+	}
+	rep := eng.Run([]dramlat.RunSpec{spec})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 1 {
+		t.Fatalf("executed %d, want 1", rep.Executed)
+	}
+
+	hash := spec.Hash()
+	for _, suffix := range []string{".events.jsonl", ".channels.csv", ".sms.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, hash+suffix)); err != nil {
+			t.Errorf("missing artifact %s: %v", suffix, err)
+		}
+	}
+
+	// The emitted trace must parse, validate, and reproduce the run's
+	// divergence gap.
+	f, err := os.Open(filepath.Join(dir, hash+".events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty event trace")
+	}
+	telemetry.SortEvents(evs)
+	if err := telemetry.Validate(evs); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	got := telemetry.Analyze(evs).DivergenceGap()
+	want := rep.Outcomes[0].Results.Summary.DivergenceGap
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("trace gap %.6f != collector gap %.6f", got, want)
+	}
+}
+
+// TestSweepTelemetryHashSharing pins that telemetry options do not change
+// the spec hash: traced and untraced runs must share a result-cache entry.
+func TestSweepTelemetryHashSharing(t *testing.T) {
+	plain := dramlat.RunSpec{Benchmark: "bfs", Scheduler: "gmc"}
+	traced := plain
+	traced.Telemetry = dramlat.TelemetryOptions{Events: true, SampleEvery: 100}
+	if plain.Hash() != traced.Hash() {
+		t.Fatal("telemetry options changed the spec hash")
+	}
+}
+
+func TestSweepTelemetryCustomRunnerWins(t *testing.T) {
+	ran := false
+	eng := &Engine{
+		Workers: 1,
+		Runner: func(s dramlat.RunSpec) (dramlat.Results, error) {
+			ran = true
+			return dramlat.Results{}, nil
+		},
+		Telemetry:    dramlat.TelemetryOptions{Events: true},
+		TelemetryDir: t.TempDir(),
+	}
+	rep := eng.Run([]dramlat.RunSpec{{Benchmark: "bfs", Scheduler: "gmc"}})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("custom runner not used")
+	}
+}

@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// SortEvents stable-sorts events by timestamp in place. The tracer records
+// DRAM completions with future (data-transfer-end) timestamps, so the raw
+// recording order is not timestamp-sorted; stability preserves causal
+// recording order among same-tick events.
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
+}
+
+// jsonEvent is the JSONL wire schema: one object per line, the kind as a
+// stable string name, all coordinates explicit (-1 = not applicable).
+type jsonEvent struct {
+	Tick    int64  `json:"t"`
+	Kind    string `json:"ev"`
+	Channel int16  `json:"ch"`
+	Bank    int16  `json:"bank"`
+	Row     int32  `json:"row"`
+	SM      int32  `json:"sm"`
+	Warp    int32  `json:"warp"`
+	Load    uint32 `json:"load"`
+	Req     uint64 `json:"req"`
+	A       int64  `json:"a"`
+	B       int64  `json:"b"`
+}
+
+// WriteJSONL writes events as JSON Lines, sorted by timestamp.
+func WriteJSONL(w io.Writer, events []Event) error {
+	sorted := append([]Event(nil), events...)
+	SortEvents(sorted)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range sorted {
+		je := jsonEvent{
+			Tick: e.Tick, Kind: e.Kind.String(),
+			Channel: e.Channel, Bank: e.Bank, Row: e.Row,
+			SM: e.SM, Warp: e.Warp, Load: e.Load, Req: e.Req,
+			A: e.A, B: e.B,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(b, &je); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		k, err := ParseKind(je.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		out = append(out, Event{
+			Tick: je.Tick, Kind: k,
+			Channel: je.Channel, Bank: je.Bank, Row: je.Row,
+			SM: je.SM, Warp: je.Warp, Load: je.Load, Req: je.Req,
+			A: je.A, B: je.B,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Chrome trace_event mapping (the JSON Object Format, loadable in
+// chrome://tracing and Perfetto):
+//
+//   - pid 1 ("SMs"): one thread per warp; warp-loads are B/E duration
+//     spans named ld<serial>.
+//   - pid 100+ch ("DRAM ch<N>"): one thread per bank carrying ACT/PRE/
+//     RD/WR instants and merb-streak B/E spans; thread chromeCtlTID
+//     ("controller") carries write-drain B/E spans and dram_done instants;
+//     read/write queue depths are counter events.
+//
+// One simulator tick is rendered as one microsecond.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	chromeSMPid    = 1
+	chromeDRAMPid  = 100 // + channel
+	chromeCtlTID   = 999 // controller-level thread within a DRAM process
+	chromeWarpsPer = 1024
+)
+
+func chromeMeta(name string, pid, tid int, value string) chromeEvent {
+	args := map[string]any{"name": value}
+	return chromeEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args}
+}
+
+// WriteChromeTrace renders events as Chrome trace_event JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := append([]Event(nil), events...)
+	SortEvents(sorted)
+
+	var out []chromeEvent
+	out = append(out, chromeMeta("process_name", chromeSMPid, 0, "SMs"))
+	seenCh := map[int16]bool{}
+	seenWarp := map[int32]bool{}
+	seenBank := map[int32]bool{}
+
+	for _, e := range sorted {
+		if e.Channel >= 0 && !seenCh[e.Channel] {
+			seenCh[e.Channel] = true
+			pid := chromeDRAMPid + int(e.Channel)
+			out = append(out,
+				chromeMeta("process_name", pid, 0, fmt.Sprintf("DRAM ch%d", e.Channel)),
+				chromeMeta("thread_name", pid, chromeCtlTID, "controller"))
+		}
+		if e.Channel >= 0 && e.Bank >= 0 {
+			key := int32(e.Channel)<<16 | int32(e.Bank)
+			if !seenBank[key] {
+				seenBank[key] = true
+				out = append(out, chromeMeta("thread_name",
+					chromeDRAMPid+int(e.Channel), int(e.Bank),
+					fmt.Sprintf("bank %d", e.Bank)))
+			}
+		}
+		if e.SM >= 0 && (e.Kind == EvLoadIssue || e.Kind == EvLoadUnblock) {
+			tid := e.SM*chromeWarpsPer + e.Warp
+			if !seenWarp[tid] {
+				seenWarp[tid] = true
+				out = append(out, chromeMeta("thread_name", chromeSMPid, int(tid),
+					fmt.Sprintf("sm%d.w%d", e.SM, e.Warp)))
+			}
+		}
+
+		switch e.Kind {
+		case EvLoadIssue:
+			out = append(out, chromeEvent{
+				Name: "ld" + strconv.FormatUint(uint64(e.Load), 10),
+				Cat:  "warp", Ph: "B", Ts: e.Tick,
+				Pid: chromeSMPid, Tid: int(e.SM*chromeWarpsPer + e.Warp),
+				Args: map[string]any{"lines": e.A, "sent": e.B},
+			})
+		case EvLoadUnblock:
+			out = append(out, chromeEvent{
+				Name: "ld" + strconv.FormatUint(uint64(e.Load), 10),
+				Cat:  "warp", Ph: "E", Ts: e.Tick,
+				Pid: chromeSMPid, Tid: int(e.SM*chromeWarpsPer + e.Warp),
+			})
+		case EvACT, EvPRE, EvRD, EvWR:
+			args := map[string]any{}
+			if e.Row >= 0 {
+				args["row"] = e.Row
+			}
+			if e.Req != 0 {
+				args["req"] = e.Req
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Cat: "dram", Ph: "i", S: "t",
+				Ts: e.Tick, Pid: chromeDRAMPid + int(e.Channel), Tid: int(e.Bank),
+				Args: args,
+			})
+		case EvMERBBegin:
+			out = append(out, chromeEvent{
+				Name: "merb-streak", Cat: "dram", Ph: "B", Ts: e.Tick,
+				Pid: chromeDRAMPid + int(e.Channel), Tid: int(e.Bank),
+				Args: map[string]any{"row": e.Row},
+			})
+		case EvMERBEnd:
+			out = append(out, chromeEvent{
+				Name: "merb-streak", Cat: "dram", Ph: "E", Ts: e.Tick,
+				Pid: chromeDRAMPid + int(e.Channel), Tid: int(e.Bank),
+			})
+		case EvDrainBegin:
+			out = append(out, chromeEvent{
+				Name: "write-drain", Cat: "mc", Ph: "B", Ts: e.Tick,
+				Pid: chromeDRAMPid + int(e.Channel), Tid: chromeCtlTID,
+				Args: map[string]any{"write_q": e.A},
+			})
+		case EvDrainEnd:
+			out = append(out, chromeEvent{
+				Name: "write-drain", Cat: "mc", Ph: "E", Ts: e.Tick,
+				Pid: chromeDRAMPid + int(e.Channel), Tid: chromeCtlTID,
+			})
+		case EvEnqRead, EvDeqRead:
+			out = append(out, chromeEvent{
+				Name: "read_q", Cat: "mc", Ph: "C", Ts: e.Tick,
+				Pid: chromeDRAMPid + int(e.Channel), Tid: 0,
+				Args: map[string]any{"depth": e.A},
+			})
+		case EvEnqWrite, EvDeqWrite:
+			out = append(out, chromeEvent{
+				Name: "write_q", Cat: "mc", Ph: "C", Ts: e.Tick,
+				Pid: chromeDRAMPid + int(e.Channel), Tid: 0,
+				Args: map[string]any{"depth": e.A},
+			})
+		case EvDone:
+			out = append(out, chromeEvent{
+				Name: "dram_done", Cat: "mc", Ph: "i", S: "t", Ts: e.Tick,
+				Pid: chromeDRAMPid + int(e.Channel), Tid: chromeCtlTID,
+				Args: map[string]any{"group": e.GroupID().String(), "req": e.Req},
+			})
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{out, "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChannelCSV writes the per-interval per-channel table.
+func WriteChannelCSV(w io.Writer, rows []ChannelInterval) error {
+	cw := csv.NewWriter(w)
+	header := []string{"start", "end", "channel", "read_q", "write_q", "draining",
+		"queued_txns", "acts", "pres", "rd_bursts", "wr_bursts",
+		"hit_txns", "miss_txns", "drains_started", "busy_frac", "row_hit_rate"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, r := range rows {
+		rec := []string{
+			strconv.FormatInt(r.Start, 10), strconv.FormatInt(r.End, 10),
+			strconv.Itoa(r.Channel), strconv.Itoa(r.ReadQ), strconv.Itoa(r.WriteQ),
+			strconv.FormatBool(r.Draining), strconv.Itoa(r.QueuedTxns),
+			strconv.FormatInt(r.ACTs, 10), strconv.FormatInt(r.PREs, 10),
+			strconv.FormatInt(r.RDBursts, 10), strconv.FormatInt(r.WRBursts, 10),
+			strconv.FormatInt(r.HitTxns, 10), strconv.FormatInt(r.MissTxns, 10),
+			strconv.FormatInt(r.DrainsStarted, 10),
+			f(r.BusyFrac), f(r.RowHitRate),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSMCSV writes the per-interval per-SM stall table.
+func WriteSMCSV(w io.Writer, rows []SMInterval) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start", "end", "sm", "instr", "active",
+		"idle_mem", "idle_lsu", "idle"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.FormatInt(r.Start, 10), strconv.FormatInt(r.End, 10),
+			strconv.Itoa(r.SM),
+			strconv.FormatInt(r.Instr, 10), strconv.FormatInt(r.Active, 10),
+			strconv.FormatInt(r.IdleMem, 10), strconv.FormatInt(r.IdleLSU, 10),
+			strconv.FormatInt(r.Idle, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

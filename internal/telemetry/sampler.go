@@ -1,0 +1,147 @@
+package telemetry
+
+// The sampler stores cumulative counters at each snapshot and computes
+// per-interval deltas at export time, so a sample costs a few dozen copies
+// and no division on the simulation path.
+
+// ChannelSample is one per-channel snapshot. Queue depths and Draining are
+// instantaneous gauges; the counter fields are cumulative since tick 0
+// (mirroring dram.Stats), turned into per-interval deltas by
+// ChannelIntervals.
+type ChannelSample struct {
+	Tick    int64
+	Channel int
+
+	ReadQ      int  // reads buffered in the transaction scheduler
+	WriteQ     int  // writes buffered in the write queue
+	Draining   bool // write drain engaged
+	QueuedTxns int  // transactions resident in per-bank command queues
+
+	ACTs, PREs         int64
+	RDBursts, WRBursts int64
+	HitTxns, MissTxns  int64
+	BusyTicks          int64
+	DrainsStarted      int64
+}
+
+// SMSample is one per-SM snapshot of cumulative issue/stall counters. The
+// Idle* breakdown is populated only when stall classification is on
+// (sampling enabled); IdleOther additionally absorbs compute-latency
+// bubbles.
+type SMSample struct {
+	Tick int64
+	SM   int
+
+	Instr   int64
+	Active  int64
+	IdleMem int64 // no warp ready: at least one warp blocked on memory
+	IdleLSU int64 // no warp ready: LSU replay queue backed up
+	Idle    int64 // total idle (IdleMem + IdleLSU + other)
+}
+
+// GlobalSample is one machine-wide snapshot.
+type GlobalSample struct {
+	Tick int64
+	// OutstandingGroups is the number of warp-groups in flight in the
+	// memory system at the sample tick.
+	OutstandingGroups int
+	// CompletedGroups is cumulative.
+	CompletedGroups int
+}
+
+// Sampler accumulates interval snapshots. internal/gpu owns the cadence:
+// it appends one ChannelSample per channel, one SMSample per SM and one
+// GlobalSample every Every ticks (plus a final sample at run end).
+type Sampler struct {
+	Every int64
+
+	Channels []ChannelSample
+	SMs      []SMSample
+	Globals  []GlobalSample
+}
+
+// ChannelInterval is the delta between two consecutive snapshots of one
+// channel.
+type ChannelInterval struct {
+	Start, End int64
+	Channel    int
+
+	ReadQ      int // gauges at End
+	WriteQ     int
+	Draining   bool
+	QueuedTxns int
+
+	ACTs, PREs         int64
+	RDBursts, WRBursts int64
+	HitTxns, MissTxns  int64
+	DrainsStarted      int64
+	BusyFrac           float64 // data-bus busy fraction over the interval
+	RowHitRate         float64 // HitTxns / (HitTxns + MissTxns), 0 if none
+}
+
+// SMInterval is the delta between two consecutive snapshots of one SM.
+type SMInterval struct {
+	Start, End int64
+	SM         int
+
+	Instr   int64
+	Active  int64
+	IdleMem int64
+	IdleLSU int64
+	Idle    int64
+}
+
+// ChannelIntervals converts the stored snapshots into per-interval deltas,
+// ordered by (start tick, channel).
+func (s *Sampler) ChannelIntervals() []ChannelInterval {
+	if s == nil {
+		return nil
+	}
+	prev := map[int]ChannelSample{}
+	var out []ChannelInterval
+	for _, cur := range s.Channels {
+		p, ok := prev[cur.Channel]
+		prev[cur.Channel] = cur
+		if !ok || cur.Tick <= p.Tick {
+			continue
+		}
+		iv := ChannelInterval{
+			Start: p.Tick, End: cur.Tick, Channel: cur.Channel,
+			ReadQ: cur.ReadQ, WriteQ: cur.WriteQ,
+			Draining: cur.Draining, QueuedTxns: cur.QueuedTxns,
+			ACTs: cur.ACTs - p.ACTs, PREs: cur.PREs - p.PREs,
+			RDBursts: cur.RDBursts - p.RDBursts, WRBursts: cur.WRBursts - p.WRBursts,
+			HitTxns: cur.HitTxns - p.HitTxns, MissTxns: cur.MissTxns - p.MissTxns,
+			DrainsStarted: cur.DrainsStarted - p.DrainsStarted,
+		}
+		iv.BusyFrac = float64(cur.BusyTicks-p.BusyTicks) / float64(cur.Tick-p.Tick)
+		if tot := iv.HitTxns + iv.MissTxns; tot > 0 {
+			iv.RowHitRate = float64(iv.HitTxns) / float64(tot)
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// SMIntervals converts the stored SM snapshots into per-interval deltas.
+func (s *Sampler) SMIntervals() []SMInterval {
+	if s == nil {
+		return nil
+	}
+	prev := map[int]SMSample{}
+	var out []SMInterval
+	for _, cur := range s.SMs {
+		p, ok := prev[cur.SM]
+		prev[cur.SM] = cur
+		if !ok || cur.Tick <= p.Tick {
+			continue
+		}
+		out = append(out, SMInterval{
+			Start: p.Tick, End: cur.Tick, SM: cur.SM,
+			Instr: cur.Instr - p.Instr, Active: cur.Active - p.Active,
+			IdleMem: cur.IdleMem - p.IdleMem, IdleLSU: cur.IdleLSU - p.IdleLSU,
+			Idle: cur.Idle - p.Idle,
+		})
+	}
+	return out
+}

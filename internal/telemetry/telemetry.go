@@ -1,0 +1,76 @@
+// Package telemetry is the simulator's observability layer: a cycle-level
+// event tracer and an interval time-series sampler, both designed to cost
+// one predictable nil-check branch per instrumentation site when disabled.
+//
+// The paper's whole subject is *when* things happen — which bank makes a
+// warp-group's straggler request late (Fig 3), how MERB streaks trade row
+// bandwidth against divergence (Section IV-D), how write drains stall
+// warp-groups (Fig 12) — yet the simulator's Results struct only reports
+// end-of-run scalars. This package records the time-resolved raw material:
+//
+//   - Tracer: typed, timestamped events (warp-load issue/unblock, request
+//     enqueue/dequeue per controller, DRAM ACT/PRE/RD/WR commands, MERB
+//     streak begin/end, write-drain begin/end, DRAM request completion)
+//     in a bounded ring buffer, exportable as JSONL or as Chrome
+//     trace_event JSON that loads directly in chrome://tracing / Perfetto.
+//   - Sampler: per-channel, per-SM and global gauges snapshotted every N
+//     ticks (queue depths, row hit/miss deltas, bus busy fraction,
+//     outstanding warp-groups, stall-reason breakdown), exportable as CSV
+//     or consumed programmatically via the *Intervals helpers.
+//
+// Components hold a *Tracer probe that is nil when tracing is disabled;
+// every event site is guarded by `if probe != nil` so a disabled build
+// pays one branch and no call. internal/gpu owns the sampling cadence and
+// pushes rows into the Sampler, so a run without sampling pays one branch
+// per tick. The overhead contract is pinned by BenchmarkRunTelemetryOff.
+package telemetry
+
+// Options selects which telemetry subsystems a run enables. The zero
+// value disables everything (and makes New return nil, so probes stay
+// nil-check cheap).
+type Options struct {
+	// Events enables the event tracer.
+	Events bool
+	// EventCap bounds the tracer ring buffer; when full, the oldest
+	// events are overwritten and Tracer.Dropped counts the loss.
+	// 0 means DefaultEventCap.
+	EventCap int
+	// SampleEvery enables the interval sampler with the given period in
+	// ticks; 0 disables sampling.
+	SampleEvery int64
+}
+
+// DefaultEventCap is the tracer ring capacity when Options.EventCap is 0:
+// large enough for every event of the small-scale runs used for analysis
+// (~50 bytes/event, so the default is ~50 MB when completely full).
+const DefaultEventCap = 1 << 20
+
+// Enabled reports whether any subsystem is on.
+func (o Options) Enabled() bool { return o.Events || o.SampleEvery > 0 }
+
+// Telemetry bundles the live subsystems of one run. Either field may be
+// nil (that subsystem disabled).
+type Telemetry struct {
+	Tracer  *Tracer
+	Sampler *Sampler
+}
+
+// New builds the subsystems selected by o, or returns nil when o enables
+// nothing — callers thread the nil straight into the probe fields.
+func New(o Options) *Telemetry {
+	if !o.Enabled() {
+		return nil
+	}
+	t := &Telemetry{}
+	if o.Events {
+		capacity := o.EventCap
+		if capacity <= 0 {
+			capacity = DefaultEventCap
+		}
+		t.Tracer = NewTracer(capacity)
+	}
+	if o.SampleEvery > 0 {
+		t.Sampler = &Sampler{Every: o.SampleEvery}
+	}
+	return t
+}

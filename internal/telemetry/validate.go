@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural invariants of a completed event stream,
+// in the order given (WriteJSONL emits timestamp-sorted streams):
+//
+//   - timestamps are monotone non-decreasing;
+//   - the DRAM command stream is legal per (channel, bank): ACT only on a
+//     closed bank, PRE only on an open one, RD/WR only to the open row;
+//   - every request is dequeued at most once and only after its enqueue,
+//     its column commands and completion follow its dequeue;
+//   - begin/end pairs balance: write drains per channel, MERB streaks per
+//     (channel, bank), and warp-load issue/unblock per warp-group.
+//
+// A trace truncated by ring-buffer wrap-around, or taken from a run that
+// hit MaxTicks with warps still blocked, legitimately fails the pairing
+// checks; Validate is meant for complete traces of drained runs.
+func Validate(events []Event) error {
+	var errs []error
+	bad := func(i int, e Event, format string, args ...any) {
+		if len(errs) < 20 { // cap the report, keep counting nothing
+			errs = append(errs, fmt.Errorf("event %d (tick %d, %s): %s",
+				i, e.Tick, e.Kind, fmt.Sprintf(format, args...)))
+		}
+	}
+
+	type bankKey struct{ ch, bank int16 }
+	type loadKey struct {
+		sm, warp int32
+		load     uint32
+	}
+	openRow := map[bankKey]int32{} // missing = closed
+	merb := map[bankKey]bool{}
+	drain := map[int16]bool{}
+	loads := map[loadKey]bool{}
+	const (
+		reqEnqueued = 1
+		reqDequeued = 2
+	)
+	reqState := map[uint64]int{}
+
+	last := int64(-1 << 62)
+	for i, e := range events {
+		if e.Tick < last {
+			bad(i, e, "timestamp went backwards (%d after %d)", e.Tick, last)
+		}
+		last = e.Tick
+
+		bk := bankKey{e.Channel, e.Bank}
+		switch e.Kind {
+		case EvACT:
+			if row, open := openRow[bk]; open {
+				bad(i, e, "ACT on open bank (row %d open)", row)
+			}
+			openRow[bk] = e.Row
+		case EvPRE:
+			if _, open := openRow[bk]; !open {
+				bad(i, e, "PRE on closed bank")
+			}
+			delete(openRow, bk)
+		case EvRD, EvWR:
+			row, open := openRow[bk]
+			if !open {
+				bad(i, e, "column command on closed bank")
+			} else if row != e.Row {
+				bad(i, e, "column command to row %d but row %d open", e.Row, row)
+			}
+			if e.Req != 0 && reqState[e.Req] != reqDequeued {
+				bad(i, e, "burst for request %d not in dispatched state", e.Req)
+			}
+		case EvEnqRead, EvEnqWrite:
+			if st := reqState[e.Req]; st != 0 {
+				bad(i, e, "request %d enqueued twice", e.Req)
+			}
+			reqState[e.Req] = reqEnqueued
+		case EvDeqRead, EvDeqWrite:
+			if st := reqState[e.Req]; st != reqEnqueued {
+				bad(i, e, "request %d dequeued in state %d", e.Req, st)
+			}
+			reqState[e.Req] = reqDequeued
+		case EvDone:
+			if st := reqState[e.Req]; st != reqDequeued {
+				bad(i, e, "completion for request %d in state %d", e.Req, st)
+			}
+		case EvMERBBegin:
+			if merb[bk] {
+				bad(i, e, "nested MERB streak")
+			}
+			merb[bk] = true
+		case EvMERBEnd:
+			if !merb[bk] {
+				bad(i, e, "MERB end without begin")
+			}
+			delete(merb, bk)
+		case EvDrainBegin:
+			if drain[e.Channel] {
+				bad(i, e, "nested write drain")
+			}
+			drain[e.Channel] = true
+		case EvDrainEnd:
+			if !drain[e.Channel] {
+				bad(i, e, "drain end without begin")
+			}
+			delete(drain, e.Channel)
+		case EvLoadIssue:
+			lk := loadKey{e.SM, e.Warp, e.Load}
+			if loads[lk] {
+				bad(i, e, "load issued twice")
+			}
+			loads[lk] = true
+		case EvLoadUnblock:
+			lk := loadKey{e.SM, e.Warp, e.Load}
+			if !loads[lk] {
+				bad(i, e, "unblock without issue")
+			}
+			delete(loads, lk)
+		}
+	}
+
+	for bk := range merb {
+		errs = append(errs, fmt.Errorf("MERB streak left open on ch%d bank %d", bk.ch, bk.bank))
+	}
+	for ch := range drain {
+		errs = append(errs, fmt.Errorf("write drain left open on ch%d", ch))
+	}
+	if n := len(loads); n > 0 {
+		errs = append(errs, fmt.Errorf("%d warp-loads issued but never unblocked", n))
+	}
+	return errors.Join(errs...)
+}

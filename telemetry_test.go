@@ -1,0 +1,118 @@
+package dramlat
+
+// End-to-end telemetry contract: a traced run's event stream must be
+// structurally legal (DRAM command legality, balanced begin/end spans) and
+// rich enough to reproduce the collector's headline divergence metric from
+// the trace alone. The overhead benchmarks pin the
+// zero-cost-when-disabled design (see internal/telemetry).
+
+import (
+	"testing"
+
+	"dramlat/internal/telemetry"
+)
+
+func tinyTelemetrySpec(sched string) RunSpec {
+	return RunSpec{
+		Benchmark: "bfs", Scheduler: sched, Scale: 0.05, SMs: 2, WarpsPerSM: 4,
+		Telemetry: TelemetryOptions{Events: true, SampleEvery: 200},
+	}
+}
+
+func TestRunTelemetryDisabledReturnsNil(t *testing.T) {
+	spec := tinyTelemetrySpec("gmc")
+	spec.Telemetry = TelemetryOptions{}
+	_, tel, err := RunTelemetry(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel != nil {
+		t.Fatal("telemetry bundle returned for a disabled run")
+	}
+}
+
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	spec := tinyTelemetrySpec("wg-w")
+	plain := spec
+	plain.Telemetry = TelemetryOptions{}
+	a, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunTelemetry(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ticks != b.Ticks || a.Instr != b.Instr || a.Summary != b.Summary {
+		t.Fatalf("telemetry changed the simulation: %+v vs %+v", a, b)
+	}
+}
+
+func TestTraceValidAndReproducesDivergenceGap(t *testing.T) {
+	// wg-w exercises every event source: MERB streaks, write drains,
+	// coordination; gmc covers the baseline path.
+	for _, sched := range []string{"gmc", "wg-w"} {
+		res, tel, err := RunTelemetry(tinyTelemetrySpec(sched))
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		if tel == nil || tel.Tracer == nil || tel.Sampler == nil {
+			t.Fatalf("%s: missing telemetry bundle", sched)
+		}
+		if tel.Tracer.Dropped() != 0 {
+			t.Fatalf("%s: ring wrapped on a tiny run (%d dropped)", sched, tel.Tracer.Dropped())
+		}
+		evs := tel.Tracer.Events()
+		telemetry.SortEvents(evs)
+		if err := telemetry.Validate(evs); err != nil {
+			t.Fatalf("%s: trace invalid: %v", sched, err)
+		}
+
+		a := telemetry.Analyze(evs)
+		got, want := a.DivergenceGap(), res.Summary.DivergenceGap
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: trace gap %.6f != collector gap %.6f", sched, got, want)
+		}
+
+		// The sampler must have produced consistent snapshots: final
+		// sample at run end, cumulative counters non-decreasing.
+		ivs := tel.Sampler.ChannelIntervals()
+		if len(ivs) == 0 {
+			t.Fatalf("%s: no sampling intervals", sched)
+		}
+		for _, iv := range ivs {
+			if iv.ACTs < 0 || iv.RDBursts < 0 || iv.BusyFrac < 0 || iv.BusyFrac > 1 {
+				t.Fatalf("%s: inconsistent interval %+v", sched, iv)
+			}
+		}
+	}
+}
+
+// BenchmarkRunTelemetryOff is the overhead contract's baseline: the same
+// simulation as BenchmarkRunTelemetryOn with every probe nil. The disabled
+// path must stay within a few percent of a build without instrumentation
+// (one nil-check branch per event site).
+func BenchmarkRunTelemetryOff(b *testing.B) {
+	spec := RunSpec{Benchmark: "spmv", Scheduler: "wg-w", Scale: 0.1}
+	benchTelemetry(b, spec)
+}
+
+// BenchmarkRunTelemetryOn measures the fully traced run for comparison.
+func BenchmarkRunTelemetryOn(b *testing.B) {
+	spec := RunSpec{Benchmark: "spmv", Scheduler: "wg-w", Scale: 0.1}
+	spec.Telemetry = TelemetryOptions{Events: true, SampleEvery: 1000}
+	benchTelemetry(b, spec)
+}
+
+func benchTelemetry(b *testing.B, spec RunSpec) {
+	var ticks int64
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i + 1)
+		res, _, err := RunTelemetry(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks += res.Ticks
+	}
+	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "sim-ticks/s")
+}

@@ -255,6 +255,32 @@ func BenchmarkWAFCFS(b *testing.B) {
 	}
 }
 
+// benchEngine times one full simulation per iteration under the given
+// engine and reports simulated-ticks/second. The dense/event pair is the
+// speedup measurement behind DESIGN.md's "Simulation engine" section;
+// scripts/bench3 sweeps the full scheduler x workload matrix into
+// BENCH_3.json.
+func benchEngine(b *testing.B, dense bool) {
+	var ticks int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(RunSpec{
+			Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.1, DenseLoop: dense,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks += res.Ticks
+	}
+	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "sim-ticks/s")
+}
+
+// BenchmarkRunDense times the reference tick-every-cycle engine.
+func BenchmarkRunDense(b *testing.B) { benchEngine(b, true) }
+
+// BenchmarkRunEventDriven times the next-wakeup engine on the same run;
+// the ratio to BenchmarkRunDense is the tick-skipping speedup.
+func BenchmarkRunEventDriven(b *testing.B) { benchEngine(b, false) }
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (ticks/s) —
 // an engineering metric, not a paper figure.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"dramlat"
+	"dramlat/internal/prof"
 	"dramlat/internal/sweep"
 )
 
@@ -196,7 +197,13 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
 	jsonOut := flag.String("json", "", "also write every run as sweep JSON to this file (\"-\" = stdout)")
+	pf := prof.Register()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "dlbench:", err)
+		os.Exit(1)
+	}
+	defer pf.Stop()
 
 	var cache *sweep.Cache
 	if *cacheDir != "" && *cacheDir != "none" {
@@ -232,6 +239,7 @@ func main() {
 		selected = experimentOrder
 	} else if _, ok := exps[*exp]; !ok {
 		fmt.Fprintf(os.Stderr, "dlbench: unknown experiment %q\n", *exp)
+		pf.Stop()
 		os.Exit(2)
 	}
 
@@ -259,6 +267,7 @@ func main() {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "dlbench:", err)
+				pf.Stop()
 				os.Exit(1)
 			}
 			defer f.Close()
@@ -266,8 +275,14 @@ func main() {
 		}
 		if err := s.report().WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			pf.Stop()
 			os.Exit(1)
 		}
+	}
+	if err := pf.WriteBench(s.report().Outcomes); err != nil {
+		fmt.Fprintln(os.Stderr, "dlbench:", err)
+		pf.Stop()
+		os.Exit(1)
 	}
 
 	if s.failed > 0 {
@@ -278,6 +293,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  %s/%s seed %d: %v\n", sp.Benchmark, sp.Scheduler, sp.Seed, o.Err)
 			}
 		}
+		pf.Stop()
 		os.Exit(1)
 	}
 }

@@ -23,11 +23,17 @@ import (
 	"strings"
 
 	"dramlat"
+	"dramlat/internal/prof"
 	"dramlat/internal/sweep"
 )
 
+// stopProf flushes any active profiles before an error exit; main swaps
+// in the real stopper once the profiling flags are parsed.
+var stopProf = func() {}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "dlsweep:", err)
+	stopProf()
 	os.Exit(1)
 }
 
@@ -137,7 +143,13 @@ func main() {
 	traceEvents := flag.Bool("trace-events", false, "with -trace-dir: record the event trace (JSONL)")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
 	sampleEvery := flag.Int64("sample-every", 0, "with -trace-dir: snapshot gauges every N ticks (CSV)")
+	pf := prof.Register()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fail(err)
+	}
+	stopProf = pf.Stop
+	defer pf.Stop()
 
 	if *format != "json" && *format != "csv" {
 		fail(fmt.Errorf("unknown format %q", *format))
@@ -227,6 +239,9 @@ func main() {
 		len(specs), nw, cache.Dir())
 	rep := eng.Run(specs)
 	fmt.Fprintln(os.Stderr, "dlsweep:", rep.Summary())
+	if err := pf.WriteBench(rep.Outcomes); err != nil {
+		fail(err)
+	}
 
 	w := os.Stdout
 	if *out != "-" {
@@ -256,6 +271,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dlsweep: FAILED %s/%s seed %d: %v\n",
 				sp.Benchmark, sp.Scheduler, sp.Seed, o.Err)
 		}
+		pf.Stop()
 		os.Exit(1)
 	}
 }

@@ -70,6 +70,12 @@ type RunSpec struct {
 	// and Hash: observability does not change simulation results, so
 	// traced and untraced runs share a result-cache entry.
 	Telemetry telemetry.Options `json:"-"`
+
+	// DenseLoop forces the reference tick-every-cycle engine (see
+	// gpu.Config.DenseLoop). Excluded from Canonical and Hash: both
+	// engines produce byte-identical Results, so dense and event-driven
+	// runs share a result-cache entry.
+	DenseLoop bool `json:"-"`
 }
 
 // TelemetryOptions re-exports telemetry.Options for callers configuring
@@ -99,9 +105,11 @@ func (s RunSpec) Canonical() RunSpec {
 	if s.Seed == 0 {
 		s.Seed = p.Seed
 	}
-	// Observability does not affect the simulation: canonical specs are
-	// telemetry-free so traced and untraced runs compare equal.
+	// Observability and engine choice do not affect the simulation:
+	// canonical specs are telemetry-free and engine-neutral so such runs
+	// compare equal.
 	s.Telemetry = telemetry.Options{}
+	s.DenseLoop = false
 	return s
 }
 
@@ -195,6 +203,7 @@ func Config(spec RunSpec) gpu.Config {
 		cfg.CmdQueueCap = spec.CmdQueueCap
 	}
 	cfg.Telemetry = spec.Telemetry
+	cfg.DenseLoop = spec.DenseLoop
 	return cfg
 }
 

@@ -1,0 +1,110 @@
+package dramlat
+
+import (
+	"reflect"
+	"testing"
+
+	"dramlat/internal/gpu"
+	"dramlat/internal/telemetry"
+	"dramlat/internal/workload"
+)
+
+// runBoth executes the same spec under both engines and returns the two
+// result digests plus telemetry bundles.
+func runBoth(t *testing.T, spec RunSpec) (dense, event Results, dtel, etel *Telemetry) {
+	t.Helper()
+	ds := spec
+	ds.DenseLoop = true
+	var err error
+	dense, dtel, err = RunTelemetry(ds)
+	if err != nil {
+		t.Fatalf("dense run: %v", err)
+	}
+	es := spec
+	es.DenseLoop = false
+	event, etel, err = RunTelemetry(es)
+	if err != nil {
+		t.Fatalf("event run: %v", err)
+	}
+	return dense, event, dtel, etel
+}
+
+// TestEventDrivenMatchesDense is the differential proof behind the
+// event-driven engine: for every scheduler, with telemetry off and on,
+// the next-wakeup loop must produce Results byte-identical to the dense
+// reference loop. Any mismatch means a component reported a wakeup tick
+// later than its first real state change.
+func TestEventDrivenMatchesDense(t *testing.T) {
+	workloads := []string{"bfs", "streamcluster"}
+	for _, sched := range Schedulers() {
+		for _, wl := range workloads {
+			spec := RunSpec{
+				Benchmark: wl, Scheduler: sched,
+				Scale: 0.05, SMs: 6, WarpsPerSM: 8,
+			}
+			t.Run(sched+"/"+wl, func(t *testing.T) {
+				dense, event, _, _ := runBoth(t, spec)
+				if !reflect.DeepEqual(dense, event) {
+					t.Fatalf("results diverge\ndense: %+v\nevent: %+v", dense, event)
+				}
+			})
+			t.Run(sched+"/"+wl+"/telemetry", func(t *testing.T) {
+				sp := spec
+				sp.Telemetry = telemetry.Options{
+					Events: true, EventCap: 1 << 14, SampleEvery: 500,
+				}
+				dense, event, dtel, etel := runBoth(t, sp)
+				if !reflect.DeepEqual(dense, event) {
+					t.Fatalf("results diverge\ndense: %+v\nevent: %+v", dense, event)
+				}
+				if !reflect.DeepEqual(dtel.Sampler.SMs, etel.Sampler.SMs) {
+					t.Fatalf("SM samples diverge\ndense: %+v\nevent: %+v",
+						dtel.Sampler.SMs, etel.Sampler.SMs)
+				}
+				if !reflect.DeepEqual(dtel.Sampler.Channels, etel.Sampler.Channels) {
+					t.Fatalf("channel samples diverge\ndense: %+v\nevent: %+v",
+						dtel.Sampler.Channels, etel.Sampler.Channels)
+				}
+				if !reflect.DeepEqual(dtel.Sampler.Globals, etel.Sampler.Globals) {
+					t.Fatalf("global samples diverge\ndense: %+v\nevent: %+v",
+						dtel.Sampler.Globals, etel.Sampler.Globals)
+				}
+			})
+		}
+	}
+}
+
+// TestEventDrivenMatchesDenseRefresh exercises the refresh path, which the
+// public RunSpec does not expose: the channel's wakeup must account for the
+// tREFI arming tick even while otherwise idle.
+func TestEventDrivenMatchesDenseRefresh(t *testing.T) {
+	for _, sched := range []string{"gmc", "frfcfs", "wg-w"} {
+		t.Run(sched, func(t *testing.T) {
+			build := func(dense bool) Results {
+				cfg := gpu.DefaultConfig()
+				cfg.NumSMs = 6
+				cfg.WarpsPerSM = 8
+				cfg.Scheduler = sched
+				cfg.EnableRefresh = true
+				cfg.DenseLoop = dense
+				p := workload.DefaultParams()
+				p.NumSMs = cfg.NumSMs
+				p.WarpsPerSM = cfg.WarpsPerSM
+				p.Scale = 0.05
+				b, err := workload.ByName("bfs")
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, err := gpu.NewSystem(cfg, b.Build(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys.Run()
+			}
+			dense, event := build(true), build(false)
+			if !reflect.DeepEqual(dense, event) {
+				t.Fatalf("results diverge with refresh\ndense: %+v\nevent: %+v", dense, event)
+			}
+		})
+	}
+}

@@ -29,7 +29,8 @@ type Network struct {
 	// crosses a 16-bit link in 2 ticks.
 	SerializeTicks int64
 
-	queues   [][]timedMsg // per destination, ordered by due time
+	queues   [][]timedMsg // per destination (NOT due-ordered: links backpressure independently)
+	nextDue  []int64      // per destination, exact min due over queues[dst]
 	linkFree [][]int64    // per (src,dst) link availability
 
 	Sent      int64
@@ -43,10 +44,12 @@ func New(n int, delay int64) *Network {
 		Delay:          delay,
 		SerializeTicks: 2,
 		queues:         make([][]timedMsg, n),
+		nextDue:        make([]int64, n),
 		linkFree:       make([][]int64, n),
 	}
 	for i := range net.linkFree {
 		net.linkFree[i] = make([]int64, n)
+		net.nextDue[i] = never
 	}
 	return net
 }
@@ -65,6 +68,9 @@ func (n *Network) Broadcast(from int, g memreq.GroupID, score int, now int64) {
 		n.linkFree[from][dst] = start + n.SerializeTicks
 		due := start + n.SerializeTicks + n.Delay
 		n.queues[dst] = append(n.queues[dst], timedMsg{Msg{from, g, score}, due})
+		if due < n.nextDue[dst] {
+			n.nextDue[dst] = due
+		}
 		n.Sent++
 	}
 }
@@ -72,20 +78,38 @@ func (n *Network) Broadcast(from int, g memreq.GroupID, score int, now int64) {
 // Deliver pops and returns every message destined to dst that has arrived
 // by tick now, in arrival order.
 func (n *Network) Deliver(dst int, now int64) []Msg {
+	if now < n.nextDue[dst] {
+		return nil // nothing has arrived yet; nextDue is exact
+	}
 	q := n.queues[dst]
 	var out []Msg
 	keep := q[:0]
+	next := never
 	for _, tm := range q {
 		if tm.due <= now {
 			out = append(out, tm.msg)
 			n.Delivered++
 		} else {
 			keep = append(keep, tm)
+			if tm.due < next {
+				next = tm.due
+			}
 		}
 	}
 	n.queues[dst] = keep
+	n.nextDue[dst] = next
 	return out
 }
 
 // PendingFor returns the number of undelivered messages queued for dst.
 func (n *Network) PendingFor(dst int) int { return len(n.queues[dst]) }
+
+// never is the wakeup-contract sentinel (see dram.Never).
+const never int64 = 1 << 62
+
+// NextDue returns the earliest due tick of any message queued for dst,
+// or never when dst has no messages in flight. The event-driven system
+// loop uses it to wake a controller exactly when Deliver would first
+// return something. The value is maintained exactly: min-updated on
+// Broadcast, recomputed from the survivors on every delivering Deliver.
+func (n *Network) NextDue(dst int) int64 { return n.nextDue[dst] }

@@ -28,6 +28,12 @@ import (
 	"dramlat/internal/memreq"
 )
 
+// Never is the wakeup-contract sentinel: a NextWakeup result of Never
+// means "no state change can happen without new external input". Any
+// finite wakeup may be early (the caller just re-checks); it must never
+// be later than the component's first actual state change.
+const Never int64 = 1 << 62
+
 // CmdType enumerates DRAM commands.
 type CmdType uint8
 
@@ -144,6 +150,15 @@ type Channel struct {
 	// transferring. It may be nil.
 	OnComplete func(*Transaction, int64)
 
+	// WakeCache lets Tick skip the bank scan outright while now is before
+	// cmdWake, a cached lower bound on the next tick any command can
+	// issue (recomputed on idle ticks, zeroed by every state mutation).
+	// Off in the dense reference engine so its Tick stays the pristine
+	// differential oracle; the cache's own contract is covered by
+	// TestNextWakeupNeverLate.
+	WakeCache bool
+	cmdWake   int64
+
 	Stats Stats
 }
 
@@ -190,6 +205,7 @@ func (c *Channel) SetRefresh(interval, trfc int64) {
 	c.refreshInterval = interval
 	c.trfc = trfc
 	c.nextRefresh = interval
+	c.cmdWake = 0
 }
 
 // CanAccept reports whether bank b's command queue has room for another
@@ -283,6 +299,7 @@ func (c *Channel) ProjectHit(bankIdx, row int) bool {
 func (c *Channel) EnqueueBusOnly(r *memreq.Request) *Transaction {
 	txn := &Transaction{Req: r, Hit: true, CASTotal: 2}
 	c.busOnly = append(c.busOnly, txn)
+	c.cmdWake = 0
 	return txn
 }
 
@@ -321,6 +338,7 @@ func (c *Channel) Enqueue(r *memreq.Request) *Transaction {
 	if b.queuedTxns >= c.QueueCap {
 		panic(fmt.Sprintf("dram: enqueue to full bank %d", r.Bank))
 	}
+	c.cmdWake = 0
 	casType := CmdRD
 	if r.Kind == memreq.Write {
 		casType = CmdWR
@@ -407,6 +425,96 @@ func (c *Channel) legal(cmd *Command, now int64) bool {
 	return false
 }
 
+// earliestLegal returns the exact first tick at which cmd (the head of
+// its bank's queue) satisfies legal(). It mirrors legal() term by term;
+// the row-state preconditions (ACT only on a closed bank, CAS only on
+// the matching open row) always hold for queue heads because per-bank
+// queues execute in order and Enqueue generated the PRE/ACT prefix from
+// the shadow row state.
+func (c *Channel) earliestLegal(cmd *Command) int64 {
+	b := &c.banks[cmd.Bank]
+	switch cmd.Type {
+	case CmdACT:
+		t := b.actOK
+		if v := c.lastACT + int64(c.T.TRRD); v > t {
+			t = v
+		}
+		if v := c.fawWindow[c.fawIdx] + int64(c.T.TFAW); v > t {
+			t = v
+		}
+		return t
+	case CmdPRE:
+		return b.preOK
+	case CmdRD:
+		t := b.casOK
+		if v := c.lastCASGroup[c.group(cmd.Bank)] + int64(c.T.TCCDL); v > t {
+			t = v
+		}
+		if v := c.lastCASAny + int64(c.T.TCCDS); v > t {
+			t = v
+		}
+		if v := c.wrDataEnd + int64(c.T.TWTR); v > t {
+			t = v
+		}
+		if v := c.busFreeAt - int64(c.T.TCAS); v > t {
+			t = v
+		}
+		return t
+	case CmdWR:
+		t := b.casOK
+		if v := c.lastCASGroup[c.group(cmd.Bank)] + int64(c.T.TCCDL); v > t {
+			t = v
+		}
+		if v := c.lastCASAny + int64(c.T.TCCDS); v > t {
+			t = v
+		}
+		if v := c.lastRDCmd + int64(c.T.TRTW); v > t {
+			t = v
+		}
+		if v := c.busFreeAt - int64(c.T.TWL); v > t {
+			t = v
+		}
+		return t
+	}
+	return Never
+}
+
+// NextWakeup returns the earliest tick strictly after now at which Tick
+// could change channel state (issue a command, start a bus-only
+// transfer, or arm/perform a refresh), assuming nothing new is enqueued
+// before then. Never means the channel is quiescent until external
+// input. Spurious (early) wakeups are harmless; a late one would break
+// the event-driven/dense equivalence.
+func (c *Channel) NextWakeup(now int64) int64 {
+	if c.refreshDue {
+		// Refresh drain/perform progresses on per-tick conditions
+		// (preOK, bus quiet, queue drain); step densely through it.
+		return now + 1
+	}
+	w := Never
+	if c.refreshInterval > 0 && c.nextRefresh < w {
+		w = c.nextRefresh // arming tick mutates refreshDue
+	}
+	if len(c.busOnly) > 0 {
+		if v := c.busFreeAt - int64(c.T.TCAS); v < w {
+			w = v
+		}
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if len(b.queue) == 0 {
+			continue
+		}
+		if v := c.earliestLegal(&b.queue[0]); v < w {
+			w = v
+		}
+	}
+	if w <= now {
+		return now + 1
+	}
+	return w
+}
+
 // apply issues cmd at tick now, updating all timing state.
 func (c *Channel) apply(cmd *Command, now int64) {
 	b := &c.banks[cmd.Bank]
@@ -485,6 +593,9 @@ func (c *Channel) Tick(now int64) *Command {
 	if c.maybeRefresh(now) {
 		return nil
 	}
+	if c.WakeCache && now < c.cmdWake {
+		return nil // provably nothing issuable before cmdWake
+	}
 	c.tickBusOnly(now)
 	perGroup := c.NumBanks / c.Groups
 	for i := 0; i < c.NumBanks; i++ {
@@ -507,7 +618,11 @@ func (c *Channel) Tick(now int64) *Command {
 		if g == c.Groups-1 {
 			c.rrBank = (within + 1) % perGroup
 		}
+		c.cmdWake = 0 // timing state changed: rescan next tick
 		return &issued
+	}
+	if c.WakeCache {
+		c.cmdWake = c.NextWakeup(now)
 	}
 	return nil
 }

@@ -1,0 +1,70 @@
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dramlat/internal/gddr5"
+	"dramlat/internal/memreq"
+)
+
+// TestNextWakeupNeverLate property-checks the wakeup contract over random
+// request streams: between an enqueue-free tick t and the wakeup
+// NextWakeup(t) returned there, Tick must be a no-op. A command issue,
+// burst completion, or stats delta strictly before the reported wakeup
+// means the event loop would have slept through real work.
+func TestNextWakeupNeverLate(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		iter := iter
+		t.Run(fmt.Sprintf("stream%d", iter), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(iter) + 1))
+			c := NewChannel(gddr5.Default(), 16, 4, 4)
+			c.WakeCache = iter%2 == 0 // exercise the cached and pristine Tick
+			if iter%3 == 0 {
+				c.SetRefresh(2000, 160)
+			}
+			completed := 0
+			c.OnComplete = func(*Transaction, int64) { completed++ }
+
+			// pred is the earliest tick at which state may legally change:
+			// NextWakeup of the last quiet tick, reset to "now" whenever an
+			// enqueue (external input) invalidates the bound.
+			pred := int64(0)
+			var id uint64
+			for now := int64(0); now < 30_000; now++ {
+				if rng.Intn(6) == 0 {
+					bank := rng.Intn(c.NumBanks)
+					if c.CanAccept(bank) {
+						id++
+						kind := memreq.Read
+						if rng.Intn(4) == 0 {
+							kind = memreq.Write
+						}
+						c.Enqueue(&memreq.Request{
+							ID: id, Kind: kind,
+							Bank: bank, Row: rng.Intn(8), Col: rng.Intn(64),
+						})
+						pred = now
+					}
+				}
+				if iter%5 == 1 && rng.Intn(50) == 0 {
+					id++
+					c.EnqueueBusOnly(&memreq.Request{ID: id, Kind: memreq.Read})
+					pred = now
+				}
+				statsBefore := c.Stats
+				doneBefore := completed
+				cmd := c.Tick(now)
+				if (cmd != nil || c.Stats != statsBefore || completed != doneBefore) && now < pred {
+					t.Fatalf("state changed at tick %d but wakeup promised quiet until %d (cmd=%v stats %+v -> %+v)",
+						now, pred, cmd, statsBefore, c.Stats)
+				}
+				pred = c.NextWakeup(now)
+				if pred <= now {
+					t.Fatalf("NextWakeup(%d) = %d, not strictly in the future", now, pred)
+				}
+			}
+		})
+	}
+}

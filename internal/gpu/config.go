@@ -79,6 +79,12 @@ type Config struct {
 	// MaxTicks bounds the simulation.
 	MaxTicks int64
 
+	// DenseLoop selects the reference tick-every-cycle engine instead of
+	// the event-driven next-wakeup engine. Results are byte-identical
+	// either way (TestEventDrivenMatchesDense); the dense loop exists as
+	// an escape hatch and as the differential-testing oracle.
+	DenseLoop bool
+
 	// CmdLog, when non-nil, receives one line per issued DRAM command
 	// ("tick chN TYPE bank row") for debugging and external analysis.
 	CmdLog io.Writer

@@ -35,6 +35,12 @@ type partition struct {
 	pipeCap int
 	evictQ  []*memreq.Request // dirty write-backs awaiting the write queue
 
+	// didWork records whether the last Tick made observable progress: an
+	// O(1) "probably busy next tick too" signal that lets NextWakeup skip
+	// the controller/channel scans on active streaks (spuriously early at
+	// streak end, which the wakeup contract allows).
+	didWork bool
+
 	mapper    *addrmap.Mapper
 	mshrCap   int
 	l2Lat     int64
@@ -144,17 +150,20 @@ func (p *partition) process(r *memreq.Request, now int64) bool {
 
 // Tick advances the partition one cycle.
 func (p *partition) Tick(now int64) {
+	p.didWork = false
 	// Retry buffered dirty evictions first: they must not be lost.
 	for len(p.evictQ) > 0 {
 		if !p.ctl.AcceptWrite(p.evictQ[0], now) {
 			break
 		}
 		p.evictQ = p.evictQ[1:]
+		p.didWork = true
 	}
 	// L2 pipeline: one request per tick.
 	if len(p.pipe) > 0 && p.pipe[0].readyAt <= now {
 		if p.process(p.pipe[0].req, now) {
 			p.pipe = p.pipe[1:]
+			p.didWork = true
 		}
 	}
 	// Pull new work from the crossbar.
@@ -162,18 +171,49 @@ func (p *partition) Tick(now int64) {
 		if req, pop := p.x.PeekPart(p.id, now); req != nil {
 			pop()
 			p.pipe = append(p.pipe, pipeEntry{req, now + p.l2Lat})
+			p.didWork = true
 		}
 	}
 	if p.ws != nil {
 		p.ws.PollCoordination(now)
 	}
 	cmd := p.ctl.Tick(now)
+	if cmd != nil {
+		p.didWork = true
+	}
 	if cmd != nil && p.cmdLog != nil {
 		fmt.Fprintf(p.cmdLog, "%d ch%d %s b%d r%d\n", now, p.id, cmd.Type, cmd.Bank, cmd.Row)
 	}
 	if cmd != nil && p.probe != nil {
 		p.emitCommand(cmd, now)
 	}
+}
+
+// NextWakeup returns the earliest tick strictly after now at which Tick
+// could do real work, assuming no new crossbar arrivals (covered by
+// Xbar.ReqWake) and no coordination deliveries (covered by
+// coordnet.NextDue). A buffered eviction retries the write queue every
+// tick; a ready (possibly stalled) pipe head is re-processed every
+// tick; otherwise the partition sleeps until the pipe head matures or
+// the controller/channel can act.
+func (p *partition) NextWakeup(now int64) int64 {
+	if p.didWork {
+		return now + 1
+	}
+	w := p.ctl.NextWakeup(now)
+	if len(p.evictQ) > 0 && now+1 < w {
+		w = now + 1
+	}
+	if len(p.pipe) > 0 {
+		head := p.pipe[0].readyAt
+		if head <= now {
+			head = now + 1
+		}
+		if head < w {
+			w = head
+		}
+	}
+	return w
 }
 
 // emitCommand translates one issued DRAM command into a trace event.

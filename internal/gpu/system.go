@@ -70,7 +70,6 @@ type System struct {
 	Tel *telemetry.Telemetry
 
 	sms   []*sm.SM
-	pops  []func() *memreq.Request
 	parts []*partition
 	name  string
 	x     *xbar.Xbar
@@ -78,8 +77,24 @@ type System struct {
 
 	atlas *memctrl.ATLASState
 
+	// Engine holds per-run engine counters (visit/skip rates). They are
+	// deliberately NOT part of Results: the two engines batch work
+	// differently, and Results must stay byte-identical between them.
+	Engine EngineStats
+
 	reqID uint64
 	now   int64
+}
+
+// EngineStats counts the work the simulation engine actually performed.
+// VisitedTicks is the number of distinct ticks the main loop executed
+// (equal to Ticks+1 for the dense engine); SMTicks and PartTicks count
+// component-tick executions. The dense/event ratio of these is the
+// tick-skipping win reported in BENCH_3.json.
+type EngineStats struct {
+	VisitedTicks int64
+	SMTicks      int64
+	PartTicks    int64
 }
 
 // NewSystem assembles a GPU for the given config and workload.
@@ -115,6 +130,9 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 
 	for ch := 0; ch < cfg.NumChannels; ch++ {
 		channel := dram.NewChannel(cfg.Timing, cfg.NumBanks, cfg.BankGroups, cfg.CmdQueueCap)
+		// The dense reference engine keeps the uncached Tick as the
+		// differential-testing oracle.
+		channel.WakeCache = !cfg.DenseLoop
 		if cfg.EnableRefresh {
 			channel.SetRefresh(cfg.RefreshTicks, cfg.TRFCTicks)
 		}
@@ -170,9 +188,6 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 			return s.x.Inject(smID, r, now)
 		}
 		s.sms = append(s.sms, sm.New(smCfg, w.Programs[id]))
-		s.pops = append(s.pops, func() *memreq.Request {
-			return s.x.PopResponse(smID, s.now)
-		})
 	}
 	return s, nil
 }
@@ -224,7 +239,21 @@ func (s *System) buildScheduler(ch int) (memctrl.Scheduler, *core.WarpScheduler)
 // Kernel time (Results.Ticks) is the tick at which the last warp retired;
 // the write-back tail left in the memory system is not part of it, matching
 // the paper's IPC measurement.
+//
+// The default engine is event-driven: it visits a component only at
+// ticks where its state can change and jumps time to the next wakeup
+// when nothing is runnable, producing results byte-identical to the
+// dense reference loop (Cfg.DenseLoop; see DESIGN.md "Simulation
+// engine" and TestEventDrivenMatchesDense).
 func (s *System) Run() Results {
+	if s.Cfg.DenseLoop {
+		return s.runDense()
+	}
+	return s.runEvent()
+}
+
+// runDense is the reference engine: every component ticks every cycle.
+func (s *System) runDense() Results {
 	doneTick := int64(-1)
 	// nextSample keeps the per-tick telemetry cost to one compare when
 	// sampling is off (it never matches).
@@ -233,10 +262,26 @@ func (s *System) Run() Results {
 	if s.Tel != nil && s.Tel.Sampler != nil {
 		nextSample = s.Tel.Sampler.Every
 	}
+	smDone := make([]bool, len(s.sms))
+	live := 0
+	for i, c := range s.sms {
+		if c.Done() {
+			smDone[i] = true
+		} else {
+			live++
+		}
+	}
 	for s.now = 0; s.now < s.Cfg.MaxTicks; s.now++ {
 		now := s.now
+		s.Engine.VisitedTicks++
+		s.Engine.SMTicks += int64(len(s.sms))
+		s.Engine.PartTicks += int64(len(s.parts))
 		for i, c := range s.sms {
-			c.Tick(now, s.pops[i])
+			c.Tick(now, s.x.PopResponse(i, now))
+			if !smDone[i] && c.Done() {
+				smDone[i] = true
+				live--
+			}
 		}
 		for _, p := range s.parts {
 			p.Tick(now)
@@ -246,14 +291,7 @@ func (s *System) Run() Results {
 			lastSample = now
 			nextSample = now + s.Tel.Sampler.Every
 		}
-		all := true
-		for _, c := range s.sms {
-			if !c.Done() {
-				all = false
-				break
-			}
-		}
-		if all {
+		if live == 0 {
 			doneTick = now
 			break
 		}
@@ -262,6 +300,164 @@ func (s *System) Run() Results {
 		s.flushTelemetry(lastSample)
 	}
 	return s.results(doneTick)
+}
+
+// runEvent is the next-wakeup engine. Invariant: at every visited tick
+// it executes exactly the dense per-tick code, in dense component order,
+// for every component whose tick would not be a no-op; a component-tick
+// is skipped only when the wakeup contracts prove it would be a dense
+// no-op (modulo the SM idle counters, which CatchUp batches). By
+// induction over visited ticks the two engines produce byte-identical
+// state, hence byte-identical Results and telemetry.
+func (s *System) runEvent() Results {
+	doneTick := int64(-1)
+	nextSample := int64(-1)
+	lastSample := int64(-1)
+	if s.Tel != nil && s.Tel.Sampler != nil {
+		nextSample = s.Tel.Sampler.Every
+	}
+	nSM := len(s.sms)
+	smWake := make([]int64, nSM) // zero: every SM is runnable at tick 0
+	smLast := make([]int64, nSM) // last tick the SM actually ticked
+	smDone := make([]bool, nSM)
+	pWake := make([]int64, len(s.parts))
+	live := 0
+	for i, c := range s.sms {
+		smLast[i] = -1
+		if c.Done() {
+			smDone[i] = true
+		} else {
+			live++
+		}
+	}
+	// smBase is the exact min over smWake (SM-internal wakeups); partBase
+	// the exact min over pWake and coordination-message dues. Crossbar
+	// traffic is covered by the xbar's own maintained minima, so deciding
+	// whether any component needs this tick is a handful of compares —
+	// the per-component scans run only when their trigger fires.
+	const bigTick = int64(1) << 62
+	smBase, partBase := int64(0), int64(0)
+	now := int64(0)
+	for now < s.Cfg.MaxTicks {
+		s.now = now
+		s.Engine.VisitedTicks++
+		if now >= smBase || now >= s.x.MinRespWake() {
+			smBase = bigTick
+			for i, c := range s.sms {
+				eff := smWake[i]
+				if rw := s.x.RespWake(i); rw < eff {
+					eff = rw
+				}
+				if eff <= now {
+					if gap := now - 1 - smLast[i]; gap > 0 {
+						c.CatchUp(gap)
+					}
+					s.Engine.SMTicks++
+					c.Tick(now, s.x.PopResponse(i, now))
+					smLast[i] = now
+					smWake[i] = c.NextWakeup(now)
+					if !smDone[i] && c.Done() {
+						smDone[i] = true
+						live--
+					}
+				}
+				if smWake[i] < smBase {
+					smBase = smWake[i]
+				}
+			}
+		}
+		if now >= partBase || now >= s.x.MinReqWake() {
+			for ch, p := range s.parts {
+				eff := pWake[ch]
+				if rw := s.x.ReqWake(ch); rw < eff {
+					eff = rw
+				}
+				if s.net != nil {
+					if nd := s.net.NextDue(ch); nd < eff {
+						eff = nd
+					}
+				}
+				if eff > now {
+					continue
+				}
+				s.Engine.PartTicks++
+				p.Tick(now)
+				pWake[ch] = p.NextWakeup(now)
+			}
+			// Recompute partBase in a second pass: a partition ticked late
+			// in the loop may have broadcast a coordination message due at
+			// an earlier-indexed partition.
+			partBase = bigTick
+			for ch := range s.parts {
+				b := pWake[ch]
+				if s.net != nil {
+					if nd := s.net.NextDue(ch); nd < b {
+						b = nd
+					}
+				}
+				if b < partBase {
+					partBase = b
+				}
+			}
+		}
+		if now == nextSample {
+			// Idle accounting must be current through this tick before
+			// the sampler snapshots the SM counters.
+			s.catchUpSMs(now, smLast)
+			s.sample(now)
+			lastSample = now
+			nextSample = now + s.Tel.Sampler.Every
+		}
+		if live == 0 {
+			doneTick = now
+			break
+		}
+		// Jump to the earliest wakeup, clamped to the next sample tick.
+		next := s.Cfg.MaxTicks
+		if smBase < next {
+			next = smBase
+		}
+		if rw := s.x.MinRespWake(); rw < next {
+			next = rw
+		}
+		if partBase < next {
+			next = partBase
+		}
+		if rw := s.x.MinReqWake(); rw < next {
+			next = rw
+		}
+		if nextSample >= 0 && nextSample < next {
+			next = nextSample
+		}
+		if next <= now {
+			next = now + 1 // a stale-early bound forces dense stepping
+		}
+		now = next
+	}
+	if doneTick < 0 {
+		// MaxTicks exhausted: the dense loop ticked (and idle-counted)
+		// every SM through MaxTicks-1.
+		s.now = s.Cfg.MaxTicks
+		s.catchUpSMs(s.Cfg.MaxTicks-1, smLast)
+	} else {
+		s.now = doneTick
+	}
+	if s.Tel != nil {
+		s.flushTelemetry(lastSample)
+	}
+	return s.results(doneTick)
+}
+
+// catchUpSMs flushes batched idle accounting for every SM through tick
+// `through` (inclusive), so samples and results read dense-identical
+// counters.
+func (s *System) catchUpSMs(through int64, smLast []int64) {
+	for i, c := range s.sms {
+		if gap := through - smLast[i]; gap > 0 {
+			c.CatchUp(gap)
+			smLast[i] = through
+		}
+	}
 }
 
 // flushTelemetry takes the final interval sample and closes any spans

@@ -73,6 +73,19 @@ func (g *GMC) NextRead(now int64) *memreq.Request {
 	return nil
 }
 
+// NextWakeup implements Scheduler: the GMC dispatches whenever any bank
+// has both pending streams and command-queue space; the age threshold
+// only changes which stream wins at a dispatch tick, so a bank-gated
+// scheduler is woken by the channel's own wakeup.
+func (g *GMC) NextWakeup(now int64) int64 {
+	for bank := range g.rs.perBank {
+		if len(g.rs.perBank[bank]) > 0 && g.ctl.Chan.CanAccept(bank) {
+			return now + 1
+		}
+	}
+	return Never
+}
+
 func (g *GMC) pickStream(bank int, now int64) *stream {
 	active := g.rs.StreamFor(bank, g.ctl.Chan.SchedRow(bank))
 	oldest := g.rs.OldestStream(bank)
@@ -151,6 +164,18 @@ func (f *FRFCFS) NextRead(now int64) *memreq.Request {
 	return nil
 }
 
+// NextWakeup implements Scheduler: FR-FCFS can dispatch exactly when a
+// bank has pending work and queue space; otherwise only external input
+// (or the channel freeing a bank, covered by its wakeup) changes that.
+func (f *FRFCFS) NextWakeup(now int64) int64 {
+	for bank := range f.rs.perBank {
+		if len(f.rs.perBank[bank]) > 0 && f.ctl.Chan.CanAccept(bank) {
+			return now + 1
+		}
+	}
+	return Never
+}
+
 // FCFS services reads strictly in arrival order; the head of line blocks
 // when its bank's command queue is full. Combined with the
 // non-interleaving interconnect mode it models the WAFCFS comparator of
@@ -186,4 +211,14 @@ func (f *FCFS) NextRead(int64) *memreq.Request {
 	r := f.q[0]
 	f.q = f.q[1:]
 	return r
+}
+
+// NextWakeup implements Scheduler: the head of line either dispatches
+// next tick or waits on its bank's command queue (a full bank implies a
+// finite channel wakeup, which re-evaluates this).
+func (f *FCFS) NextWakeup(now int64) int64 {
+	if len(f.q) > 0 && f.ctl.Chan.CanAccept(f.q[0].Bank) {
+		return now + 1
+	}
+	return Never
 }

@@ -109,6 +109,16 @@ type SM struct {
 
 	greedy int
 	active int
+	// issuedLast records whether the last Tick issued an instruction: an
+	// O(1) "probably busy next tick too" signal that lets NextWakeup skip
+	// the warp scan on active streaks (spuriously early at streak end,
+	// which the contract allows).
+	issuedLast bool
+	// nextReady is the min readyAt over live unblocked warps, computed as
+	// a byproduct of the last failed pickWarp scan, so NextWakeup costs
+	// O(1) instead of re-scanning the warps the pick already examined.
+	// Only meaningful right after a Tick that issued nothing.
+	nextReady int64
 
 	InstrIssued int64
 	// IdleTicks counts cycles where the SM had warps outstanding but
@@ -221,14 +231,60 @@ func (s *SM) classifyStall() {
 	}
 }
 
-// Tick advances the SM one cycle: absorb one response, drain the replay
+// never is the wakeup-contract sentinel (see dram.Never).
+const never int64 = 1 << 62
+
+// Tick advances the SM one cycle: absorb one response (resp, popped from
+// the crossbar by the caller; nil when none is ready), drain the replay
 // queue head, and issue one instruction (greedy-then-oldest).
-func (s *SM) Tick(now int64, popResponse func() *memreq.Request) {
-	if r := popResponse(); r != nil {
-		s.Deliver(r, now)
+func (s *SM) Tick(now int64, resp *memreq.Request) {
+	if resp != nil {
+		s.Deliver(resp, now)
 	}
 	s.drainReplay(now)
 	s.issue(now)
+}
+
+// NextWakeup returns the earliest tick strictly after now at which Tick
+// could do anything beyond counting an idle cycle, assuming no response
+// arrives first (response arrival is covered by the crossbar's
+// RespWake). A non-empty replay queue retries injection every tick; an
+// unblocked warp issues at its readyAt (or next tick, when several are
+// ready and queue behind the one-issue-per-tick limit). never means the
+// SM is quiescent until external input. Call it right after Tick(now):
+// it reads the nextReady bound that Tick's warp scan left behind.
+func (s *SM) NextWakeup(now int64) int64 {
+	if len(s.replay) > 0 || s.issuedLast {
+		return now + 1
+	}
+	if s.nextReady <= now {
+		return now + 1
+	}
+	return s.nextReady
+}
+
+// CatchUp accounts k ticks the event-driven loop skipped for this SM.
+// A skippable tick is exactly a dense tick that would only have counted
+// an idle cycle: no deliverable response, empty replay queue, and no
+// live unblocked warp ready before the wakeup — so warp and replay
+// state are provably unchanged across the window and only the idle
+// counters need batching. The stall classification mirrors
+// classifyStall: with an empty replay queue the only attributable cause
+// is memory, and the blocked set cannot change inside the window, so
+// one check covers all k ticks.
+func (s *SM) CatchUp(k int64) {
+	if k <= 0 || s.active == 0 {
+		return
+	}
+	s.IdleTicks += k
+	if s.cfg.ClassifyStalls {
+		for _, w := range s.warps {
+			if !w.done && w.blocked {
+				s.IdleMemTicks += k
+				return
+			}
+		}
+	}
 }
 
 // drainReplay injects the head of the in-order request queue, re-checking
@@ -297,6 +353,7 @@ func (s *SM) dropOrCredit(r *memreq.Request) {
 // issue picks a warp greedy-then-oldest and issues its next instruction.
 func (s *SM) issue(now int64) {
 	w := s.pickWarp(now)
+	s.issuedLast = w != nil
 	if w == nil {
 		if s.active > 0 {
 			s.IdleTicks++
@@ -330,8 +387,18 @@ func (s *SM) issue(now int64) {
 }
 
 func (s *SM) pickWarp(now int64) *Warp {
+	// A failed scan has examined every live unblocked warp, so it records
+	// the min readyAt for NextWakeup on the way (the greedy pre-check may
+	// feed the same warp twice; min is idempotent).
+	nextReady := never
 	ready := func(w *Warp) bool {
-		if w.done || w.blocked || w.readyAt > now {
+		if w.done || w.blocked {
+			return false
+		}
+		if w.readyAt > now {
+			if w.readyAt < nextReady {
+				nextReady = w.readyAt
+			}
 			return false
 		}
 		// Memory instructions wait for the LSU queue to drain so that
@@ -350,6 +417,7 @@ func (s *SM) pickWarp(now int64) *Warp {
 				return w
 			}
 		}
+		s.nextReady = nextReady
 		return nil
 	}
 	// Greedy-then-oldest.
@@ -362,6 +430,7 @@ func (s *SM) pickWarp(now int64) *Warp {
 			return w
 		}
 	}
+	s.nextReady = nextReady
 	return nil
 }
 

@@ -58,7 +58,7 @@ func (h *harness) pop() *memreq.Request {
 
 func (h *harness) run(from, to int64) {
 	for now := from; now < to; now++ {
-		h.sm.Tick(now, h.pop)
+		h.sm.Tick(now, h.pop())
 	}
 }
 

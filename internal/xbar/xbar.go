@@ -15,6 +15,9 @@ package xbar
 
 import "dramlat/internal/memreq"
 
+// never is the wakeup-contract sentinel (see dram.Never).
+const never int64 = 1 << 62
+
 type entry struct {
 	req     *memreq.Request
 	readyAt int64
@@ -38,6 +41,20 @@ type Xbar struct {
 	curSM  []int       // per-partition sticky SM (NoInterleave)
 	rrResp []int       // per-SM partition rotation
 
+	// Wakeup bookkeeping for the event-driven system loop. reqWake and
+	// respWake are lower bounds on the earliest head readyAt of the
+	// queues toward a partition / an SM: min-updated on insert (exact
+	// when the queue was empty), recomputed from the true heads on every
+	// pop attempt. A stale-early bound only costs a spurious visit.
+	reqWake  []int64
+	respWake []int64
+	queuedTo []int // per-partition queued request count (NoInterleave)
+	// minReqWake / minRespWake are the exact minima of reqWake / respWake,
+	// kept current by the same insert/pop maintenance, so the system loop
+	// gets a whole-crossbar wake bound in O(1) per tick.
+	minReqWake  int64
+	minRespWake int64
+
 	Injected  int64
 	Rejected  int64
 	Responses int64
@@ -48,11 +65,22 @@ func New(numSM, numPart int, latency int64, capPerQueue int) *Xbar {
 	x := &Xbar{
 		NumSM: numSM, NumPart: numPart,
 		Latency: latency, CapPerQueue: capPerQueue,
-		toPart: make([][][]entry, numSM),
-		toSM:   make([][][]entry, numPart),
-		rrReq:  make([]int, numPart),
-		curSM:  make([]int, numPart),
-		rrResp: make([]int, numSM),
+		toPart:   make([][][]entry, numSM),
+		toSM:     make([][][]entry, numPart),
+		rrReq:    make([]int, numPart),
+		curSM:    make([]int, numPart),
+		rrResp:   make([]int, numSM),
+		reqWake:  make([]int64, numPart),
+		respWake: make([]int64, numSM),
+		queuedTo: make([]int, numPart),
+	}
+	x.minReqWake = never
+	x.minRespWake = never
+	for i := range x.reqWake {
+		x.reqWake[i] = never
+	}
+	for i := range x.respWake {
+		x.respWake[i] = never
 	}
 	for i := range x.toPart {
 		x.toPart[i] = make([][]entry, numPart)
@@ -76,6 +104,13 @@ func (x *Xbar) Inject(sm int, req *memreq.Request, now int64) bool {
 	}
 	*q = append(*q, entry{req, now + x.Latency})
 	x.Injected++
+	x.queuedTo[req.Channel]++
+	if t := now + x.Latency; t < x.reqWake[req.Channel] {
+		x.reqWake[req.Channel] = t
+		if t < x.minReqWake {
+			x.minReqWake = t
+		}
+	}
 	return true
 }
 
@@ -102,6 +137,12 @@ func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
 		x.curSM[part] = -1
 		return nil, nil
 	}
+	// reqWake is a lower bound on the earliest head readyAt, so a future
+	// bound proves the SM scan below would find nothing. The arbitration
+	// state is untouched either way (rrReq only moves on a pop).
+	if x.queuedTo[part] == 0 || x.reqWake[part] > now {
+		return nil, nil
+	}
 	for i := 0; i < x.NumSM; i++ {
 		sm := (x.rrReq[part] + i) % x.NumSM
 		if req, pop := x.headIfReady(sm, part, now); req != nil {
@@ -109,6 +150,9 @@ func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
 			return req, func() { pop(); x.rrReq[part] = rot }
 		}
 	}
+	// Nothing ready: tighten the wake bound to the true earliest head so
+	// the event loop can skip this partition until a request matures.
+	x.recomputeReqWake(part)
 	return nil, nil
 }
 
@@ -117,7 +161,84 @@ func (x *Xbar) headIfReady(sm, part int, now int64) (*memreq.Request, func()) {
 	if len(q) == 0 || q[0].readyAt > now {
 		return nil, nil
 	}
-	return q[0].req, func() { x.toPart[sm][part] = x.toPart[sm][part][1:] }
+	return q[0].req, func() {
+		x.toPart[sm][part] = x.toPart[sm][part][1:]
+		x.queuedTo[part]--
+		x.recomputeReqWake(part)
+	}
+}
+
+func (x *Xbar) recomputeReqWake(part int) {
+	w := never
+	for sm := 0; sm < x.NumSM; sm++ {
+		if q := x.toPart[sm][part]; len(q) > 0 && q[0].readyAt < w {
+			w = q[0].readyAt
+		}
+	}
+	x.reqWake[part] = w
+	m := never
+	for _, v := range x.reqWake {
+		if v < m {
+			m = v
+		}
+	}
+	x.minReqWake = m
+}
+
+func (x *Xbar) recomputeRespWake(sm int) {
+	w := never
+	for part := 0; part < x.NumPart; part++ {
+		if q := x.toSM[part][sm]; len(q) > 0 && q[0].readyAt < w {
+			w = q[0].readyAt
+		}
+	}
+	x.respWake[sm] = w
+	m := never
+	for _, v := range x.respWake {
+		if v < m {
+			m = v
+		}
+	}
+	x.minRespWake = m
+}
+
+// ReqWake returns the earliest tick at which PeekPart(part, ·) could
+// return a request, or never when nothing is queued toward part. In
+// NoInterleave mode the partition must be visited every tick while any
+// request is queued: PeekPart mutates its sticky-SM arbitration state
+// even on not-ready heads.
+func (x *Xbar) ReqWake(part int) int64 {
+	if x.NoInterleave {
+		if x.queuedTo[part] > 0 {
+			return 0
+		}
+		return never
+	}
+	return x.reqWake[part]
+}
+
+// RespWake returns the earliest tick at which PopResponse(sm, ·) could
+// return a response, or never when none are queued. The bound may be
+// stale-early (≤ now with no deliverable head), which only costs a
+// spurious SM visit, never a missed one.
+func (x *Xbar) RespWake(sm int) int64 { return x.respWake[sm] }
+
+// MinRespWake returns min over SMs of RespWake — the earliest tick any
+// SM could receive a response.
+func (x *Xbar) MinRespWake() int64 { return x.minRespWake }
+
+// MinReqWake returns min over partitions of ReqWake — the earliest tick
+// any partition could receive a request.
+func (x *Xbar) MinReqWake() int64 {
+	if x.NoInterleave {
+		for _, n := range x.queuedTo {
+			if n > 0 {
+				return 0
+			}
+		}
+		return never
+	}
+	return x.minReqWake
 }
 
 // Respond sends a response from partition part back to the request's SM.
@@ -130,12 +251,24 @@ func (x *Xbar) Respond(part int, req *memreq.Request, now int64) {
 	}
 	x.toSM[part][sm] = append(x.toSM[part][sm], entry{req, now + x.Latency})
 	x.Responses++
+	if t := now + x.Latency; t < x.respWake[sm] {
+		x.respWake[sm] = t
+		if t < x.minRespWake {
+			x.minRespWake = t
+		}
+	}
 }
 
 // RespondTo sends a response to an explicit SM (for ungrouped traffic).
 func (x *Xbar) RespondTo(part, sm int, req *memreq.Request, now int64) {
 	x.toSM[part][sm] = append(x.toSM[part][sm], entry{req, now + x.Latency})
 	x.Responses++
+	if t := now + x.Latency; t < x.respWake[sm] {
+		x.respWake[sm] = t
+		if t < x.minRespWake {
+			x.minRespWake = t
+		}
+	}
 }
 
 // PopResponse returns the next response for SM sm at tick now, or nil.
@@ -148,8 +281,10 @@ func (x *Xbar) PopResponse(sm int, now int64) *memreq.Request {
 		}
 		x.toSM[part][sm] = q[1:]
 		x.rrResp[sm] = (part + 1) % x.NumPart
+		x.recomputeRespWake(sm)
 		return q[0].req
 	}
+	x.recomputeRespWake(sm)
 	return nil
 }
 

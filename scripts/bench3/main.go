@@ -1,0 +1,170 @@
+// Command bench3 measures the event-driven engine (PR 3) against the
+// dense reference loop and emits BENCH_3.json: wall-clock ns, simulated
+// ticks/sec and speedup per scheduler×workload, plus the engine's
+// visit/skip ratios. Workload construction is excluded from the timings
+// (it is identical for both engines); each configuration is timed over
+// -reps alternating runs and the minimum wall time is reported.
+//
+// The matrix covers the default-occupancy irregular suite (the "no
+// slowdown beyond 5%" guard) and latency-bound low-occupancy
+// configurations where dense ticking is almost entirely wasted (the
+// ≥3x demonstration).
+//
+// Usage:
+//
+//	go run ./scripts/bench3 [-o BENCH_3.json] [-reps 5]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/gpu"
+	"dramlat/internal/workload"
+)
+
+// Entry is one matrix cell of BENCH_3.json.
+type Entry struct {
+	Benchmark string  `json:"benchmark"`
+	Scheduler string  `json:"scheduler"`
+	SMs       int     `json:"sms"`
+	WarpsPT   int     `json:"warps_per_sm"`
+	Scale     float64 `json:"scale"`
+	Ticks     int64   `json:"ticks"`
+
+	DenseNS      int64   `json:"dense_ns"`
+	EventNS      int64   `json:"event_ns"`
+	DenseTicksPS float64 `json:"dense_ticks_per_sec"`
+	EventTicksPS float64 `json:"event_ticks_per_sec"`
+	Speedup      float64 `json:"speedup"`
+
+	// Fractions of the dense tick×component grid the event engine
+	// actually executed.
+	VisitedFrac  float64 `json:"visited_frac"`
+	SMTickFrac   float64 `json:"sm_tick_frac"`
+	PartTickFrac float64 `json:"part_tick_frac"`
+}
+
+type cell struct {
+	bench, sched string
+	sms, warps   int
+	scale        float64
+}
+
+func matrix() []cell {
+	var cells []cell
+	// Default occupancy: the regression guard. Every irregular workload
+	// under the GMC baseline and the paper's best scheduler.
+	for _, b := range dramlat.IrregularNames() {
+		for _, s := range []string{"gmc", "wg-w"} {
+			cells = append(cells, cell{b, s, 30, 32, 0.25})
+		}
+	}
+	// Latency-bound low occupancy: one warp per SM leaves the dense loop
+	// ticking mostly-idle cores; at 120 SMs the six channels saturate and
+	// nearly every SM tick is skippable.
+	for _, b := range []string{"bfs", "spmv"} {
+		for _, s := range []string{"fcfs", "gmc", "wg-w"} {
+			cells = append(cells, cell{b, s, 30, 1, 0.5})
+			cells = append(cells, cell{b, s, 120, 1, 0.5})
+		}
+	}
+	return cells
+}
+
+func run(c cell, dense bool) (*gpu.System, gpu.Results, time.Duration) {
+	cfg := gpu.DefaultConfig()
+	cfg.Scheduler = c.sched
+	cfg.NumSMs = c.sms
+	cfg.WarpsPerSM = c.warps
+	cfg.DenseLoop = dense
+	p := workload.DefaultParams()
+	p.Scale = c.scale
+	p.NumSMs = c.sms
+	p.WarpsPerSM = c.warps
+	b, err := workload.ByName(c.bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench3:", err)
+		os.Exit(1)
+	}
+	w := b.Build(p)
+	sys, err := gpu.NewSystem(cfg, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench3:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res := sys.Run()
+	return sys, res, time.Since(start)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_3.json", "output file (\"-\" = stdout)")
+	reps := flag.Int("reps", 5, "timed repetitions per engine (minimum is reported)")
+	flag.Parse()
+
+	var entries []Entry
+	for _, c := range matrix() {
+		var denseMin, eventMin time.Duration
+		var denseRes, eventRes gpu.Results
+		var eng gpu.EngineStats
+		for r := 0; r < *reps; r++ {
+			_, dres, ddt := run(c, true)
+			sys, eres, edt := run(c, false)
+			if r == 0 {
+				denseMin, eventMin = ddt, edt
+				denseRes, eventRes, eng = dres, eres, sys.Engine
+				continue
+			}
+			if ddt < denseMin {
+				denseMin = ddt
+			}
+			if edt < eventMin {
+				eventMin = edt
+			}
+		}
+		if !reflect.DeepEqual(denseRes, eventRes) {
+			fmt.Fprintf(os.Stderr, "bench3: %s/%s results diverge between engines\n", c.bench, c.sched)
+			os.Exit(1)
+		}
+		grid := denseRes.Ticks + 1
+		e := Entry{
+			Benchmark: c.bench, Scheduler: c.sched,
+			SMs: c.sms, WarpsPT: c.warps, Scale: c.scale,
+			Ticks:   denseRes.Ticks,
+			DenseNS: denseMin.Nanoseconds(), EventNS: eventMin.Nanoseconds(),
+			DenseTicksPS: float64(denseRes.Ticks) / denseMin.Seconds(),
+			EventTicksPS: float64(eventRes.Ticks) / eventMin.Seconds(),
+			Speedup:      float64(denseMin) / float64(eventMin),
+			VisitedFrac:  float64(eng.VisitedTicks) / float64(grid),
+			SMTickFrac:   float64(eng.SMTicks) / float64(grid*int64(c.sms)),
+			PartTickFrac: float64(eng.PartTicks) / float64(grid*6),
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-14s %-7s sms=%-4d warps=%-3d ticks=%-9d dense=%-10s event=%-10s %5.2fx\n",
+			c.bench, c.sched, c.sms, c.warps, e.Ticks,
+			denseMin.Round(time.Microsecond), eventMin.Round(time.Microsecond), e.Speedup)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench3:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintln(os.Stderr, "bench3:", err)
+		os.Exit(1)
+	}
+}

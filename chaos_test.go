@@ -1,0 +1,228 @@
+package dramlat
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dramlat/internal/guard/chaos"
+)
+
+// chaosSpec is the small machine the fault-injection tests run on.
+func chaosSpec(sched string) RunSpec {
+	return RunSpec{
+		Benchmark: "bfs", Scheduler: sched,
+		Scale: 0.05, SMs: 4, WarpsPerSM: 8,
+		// Small budget so the watchdog trips within one or two of its
+		// 64K-cycle checks instead of the default million.
+		StallCycles: 20_000,
+	}
+}
+
+// A partition that stops answering (the observable shape of a late
+// NextWakeup contract violation) must trip the liveness watchdog on
+// every scheduler under both engines — never hang, never run to the
+// 50M-cycle default budget.
+func TestChaosLateWakeupTripsWatchdog(t *testing.T) {
+	for _, sched := range Schedulers() {
+		for _, dense := range []bool{false, true} {
+			name := sched + "/event"
+			if dense {
+				name = sched + "/dense"
+			}
+			t.Run(name, func(t *testing.T) {
+				spec := chaosSpec(sched)
+				spec.DenseLoop = dense
+				spec.Chaos = &Faults{
+					WakeTarget: chaos.TargetPartition, WakeIndex: 0, WakeAfter: 200,
+				}
+				_, err := Run(spec)
+				if err == nil {
+					t.Fatal("comatose partition went unnoticed")
+				}
+				var stall *StallError
+				if !errors.As(err, &stall) {
+					t.Fatalf("want *StallError, got %T: %v", err, err)
+				}
+				if stall.Kind != StallNoProgress {
+					t.Fatalf("kind = %q, want %q (err: %v)", stall.Kind, StallNoProgress, err)
+				}
+				if stall.Dump.LiveWarps() == 0 {
+					t.Fatal("stall dump shows no live warps despite the hang")
+				}
+				if s := stall.Dump.String(); !strings.Contains(s, "stall dump") {
+					t.Fatalf("dump not rendered: %q", s)
+				}
+			})
+		}
+	}
+}
+
+// The same fault aimed at an SM: its warps never retire, so after the
+// rest of the machine drains the progress vector flatlines.
+func TestChaosLateSMWakeupTripsWatchdog(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		spec := chaosSpec("wg-w")
+		spec.DenseLoop = dense
+		spec.Chaos = &Faults{WakeTarget: chaos.TargetSM, WakeIndex: 1, WakeAfter: 200}
+		_, err := Run(spec)
+		var stall *StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("dense=%v: want *StallError, got %v", dense, err)
+		}
+		if stall.Kind != StallNoProgress {
+			t.Fatalf("dense=%v: kind = %q", dense, stall.Kind)
+		}
+		// The dump must finger SM 1 as still holding live warps.
+		var sm1Live int
+		for _, s := range stall.Dump.SMs {
+			if s.ID == 1 {
+				sm1Live = s.LiveWarps
+			}
+		}
+		if sm1Live == 0 {
+			t.Fatalf("dense=%v: dump does not show the comatose SM's stranded warps", dense)
+		}
+	}
+}
+
+// A forced mid-run panic must come back as a *RunError carrying the
+// spec hash, the run phase and the cycle — Run never panics.
+func TestChaosForcedPanicRecovered(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		spec := chaosSpec("gmc")
+		spec.DenseLoop = dense
+		spec.Chaos = &Faults{PanicAtCycle: 500}
+		_, err := Run(spec)
+		if err == nil {
+			t.Fatalf("dense=%v: forced panic vanished", dense)
+		}
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("dense=%v: want *RunError, got %T: %v", dense, err, err)
+		}
+		if re.SpecHash != spec.Hash() {
+			t.Fatalf("dense=%v: RunError hash %s != spec hash %s", dense, re.SpecHash, spec.Hash())
+		}
+		if re.Phase != "run" {
+			t.Fatalf("dense=%v: phase %q", dense, re.Phase)
+		}
+		if re.Cycle < 500 {
+			t.Fatalf("dense=%v: cycle %d before the armed tick", dense, re.Cycle)
+		}
+		if re.Stack == "" {
+			t.Fatalf("dense=%v: no stack captured", dense)
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Fatalf("dense=%v: error message hides the panic: %v", dense, err)
+		}
+	}
+}
+
+// hangingSpec is a run that would spin forever (comatose partition)
+// with the no-progress check disabled, so only the knob under test can
+// end it. A run that finishes before the first watchdog check never
+// consults deadline or Stop — that is by design (the budget guards
+// runaway runs, it does not race healthy ones) — hence the forced hang.
+func hangingSpec(sched string) RunSpec {
+	spec := chaosSpec(sched)
+	spec.StallCycles = -1
+	spec.Chaos = &Faults{WakeTarget: chaos.TargetPartition, WakeIndex: 0, WakeAfter: 200}
+	return spec
+}
+
+// An already-expired wall-clock deadline aborts a hung run at the first
+// watchdog check with partial results instead of spinning to MaxTicks.
+func TestDeadlineAborts(t *testing.T) {
+	spec := hangingSpec("gmc")
+	spec.Deadline = time.Now().Add(-time.Second)
+	res, err := Run(spec)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *StallError, got %v", err)
+	}
+	if stall.Kind != StallDeadline {
+		t.Fatalf("kind = %q", stall.Kind)
+	}
+	if res.Drained {
+		t.Fatal("aborted run claims to have drained")
+	}
+}
+
+// A closed Stop channel cancels the run the same way.
+func TestStopChannelAborts(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	spec := hangingSpec("gmc")
+	spec.Stop = stop
+	_, err := Run(spec)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *StallError, got %v", err)
+	}
+	if stall.Kind != StallStopped {
+		t.Fatalf("kind = %q", stall.Kind)
+	}
+}
+
+// Exhausting MaxCycles returns a typed cycle-budget StallError, and the
+// partial Results at the cap are byte-identical across engines (the
+// differential invariant holds for truncated runs too).
+func TestMaxCyclesStallError(t *testing.T) {
+	run := func(dense bool) (Results, *StallError) {
+		spec := RunSpec{
+			Benchmark: "bfs", Scheduler: "wg-w",
+			Scale: 0.05, SMs: 4, WarpsPerSM: 8,
+			MaxCycles: 500, DenseLoop: dense,
+		}
+		res, err := Run(spec)
+		var stall *StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("dense=%v: want *StallError, got %v", dense, err)
+		}
+		return res, stall
+	}
+	eventRes, eventStall := run(false)
+	denseRes, denseStall := run(true)
+	if eventStall.Kind != StallCycleBudget || denseStall.Kind != StallCycleBudget {
+		t.Fatalf("kinds = %q / %q", eventStall.Kind, denseStall.Kind)
+	}
+	if eventStall.Dump.LiveWarps() == 0 {
+		t.Fatal("no live warps in the cycle-budget dump")
+	}
+	if !reflect.DeepEqual(eventRes, denseRes) {
+		t.Fatalf("truncated results diverge\ndense: %+v\nevent: %+v", denseRes, eventRes)
+	}
+}
+
+// Validation aggregates every bad field in one pass and never runs.
+func TestRunSpecValidate(t *testing.T) {
+	good := RunSpec{Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.05, SMs: 2, WarpsPerSM: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := RunSpec{Benchmark: "nope", Scheduler: "bogus", Scale: -1, ReadQ: -8}
+	err := bad.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *ValidationError, got %T: %v", err, err)
+	}
+	if len(ve.Fields) < 4 {
+		t.Fatalf("expected >= 4 field errors, got %d: %v", len(ve.Fields), err)
+	}
+	fields := map[string]bool{}
+	for _, f := range ve.Fields {
+		fields[f.Field] = true
+	}
+	for _, want := range []string{"Benchmark", "Scheduler", "Scale", "ReadQ"} {
+		if !fields[want] {
+			t.Fatalf("field %s not reported in %v", want, err)
+		}
+	}
+	// Run surfaces the same error without starting a simulation.
+	if _, rerr := Run(bad); !errors.As(rerr, &ve) {
+		t.Fatalf("Run did not return the validation error: %v", rerr)
+	}
+}

@@ -18,13 +18,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"dramlat"
@@ -37,6 +41,7 @@ import (
 // everything resolved so far, and the executed/cached/failed accounting
 // for the exit summary and -json export.
 type session struct {
+	ctx      context.Context // cancels the whole invocation (SIGINT)
 	eng      *sweep.Engine
 	memo     map[string]sweep.Outcome // by canonical spec hash
 	order    []string                 // memo insertion order, for export
@@ -46,8 +51,8 @@ type session struct {
 	start    time.Time
 }
 
-func newSession(eng *sweep.Engine) *session {
-	return &session{eng: eng, memo: map[string]sweep.Outcome{}, start: time.Now()}
+func newSession(ctx context.Context, eng *sweep.Engine) *session {
+	return &session{ctx: ctx, eng: eng, memo: map[string]sweep.Outcome{}, start: time.Now()}
 }
 
 // lookup resolves one spec: memo, then the engine (disk cache, then a
@@ -58,10 +63,12 @@ func (s *session) lookup(spec dramlat.RunSpec) dramlat.Results {
 	if o, ok := s.memo[h]; ok {
 		return o.Results
 	}
-	o := s.eng.RunOne(spec)
+	o := s.eng.RunOneContext(s.ctx, spec)
 	s.record(o)
 	if o.Err != nil {
-		fmt.Fprintf(os.Stderr, "dlbench: %v (continuing)\n", o.Err)
+		if !errors.Is(o.Err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "dlbench: %v (continuing)\n", o.Err)
+		}
 	} else if !o.Cached {
 		fmt.Fprintf(os.Stderr, "  ran %s/%s seed %d %10d ticks\n",
 			spec.Benchmark, spec.Scheduler, spec.Canonical().Seed, o.Results.Ticks)
@@ -91,10 +98,10 @@ func (s *session) prewarm(specs []dramlat.RunSpec) {
 	if len(specs) == 0 {
 		return
 	}
-	rep := s.eng.Run(specs)
+	rep := s.eng.RunContext(s.ctx, specs)
 	for _, o := range rep.Outcomes {
 		s.record(o)
-		if o.Err != nil {
+		if o.Err != nil && !errors.Is(o.Err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "dlbench: %v (continuing)\n", o.Err)
 		}
 	}
@@ -222,7 +229,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  [%3d/%3d] ran %s/%s seed %d %10d ticks\n",
 				ev.Done, ev.Total, sp.Benchmark, sp.Scheduler, sp.Seed, ev.Outcome.Results.Ticks)
 		}}
-	s := newSession(eng)
+	// First SIGINT/SIGTERM cancels the session: in-flight simulations
+	// abort at their next watchdog check, finished results are already
+	// cached, and the partial accounting (and -json export) is still
+	// written — re-running the same command resumes from the cache.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	s := newSession(ctx, eng)
 	r := &runner{scale: *scale, sms: *sms, warps: *warps, seed: *seed, seeds: *seeds, s: s}
 
 	exps := map[string]func(*runner){
@@ -257,8 +270,12 @@ func main() {
 			len(s.order), s.executed, s.cached, s.failed, cache.Dir())
 	}
 
-	for _, e := range selected {
-		exps[e](r)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "dlbench: interrupted — skipping tables (completed runs are cached; re-run to resume)")
+	} else {
+		for _, e := range selected {
+			exps[e](r)
+		}
 	}
 
 	if *jsonOut != "" {
@@ -288,11 +305,15 @@ func main() {
 	if s.failed > 0 {
 		fmt.Fprintf(os.Stderr, "dlbench: %d of %d runs failed:\n", s.failed, len(s.order))
 		for _, h := range s.order {
-			if o := s.memo[h]; o.Err != nil {
-				sp := o.Spec.Canonical()
-				fmt.Fprintf(os.Stderr, "  %s/%s seed %d: %v\n", sp.Benchmark, sp.Scheduler, sp.Seed, o.Err)
+			o := s.memo[h]
+			if o.Err == nil || errors.Is(o.Err, context.Canceled) {
+				continue // the "interrupted" line already covers these
 			}
+			sp := o.Spec.Canonical()
+			fmt.Fprintf(os.Stderr, "  %s/%s seed %d: %v\n", sp.Benchmark, sp.Scheduler, sp.Seed, o.Err)
 		}
+	}
+	if s.failed > 0 || ctx.Err() != nil {
 		pf.Stop()
 		os.Exit(1)
 	}

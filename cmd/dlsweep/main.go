@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"dramlat"
 	"dramlat/internal/prof"
@@ -135,6 +139,7 @@ func main() {
 	ablations := flag.String("ablation", "", "comma list of ablations (count-score,no-orphan,no-credits)")
 	warpscheds := flag.String("warpsched", "", "comma list of SM warp schedulers (gto,lrr)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); overruns fail like any other spec")
 	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
 	format := flag.String("format", "json", "output format: json or csv")
 	out := flag.String("o", "-", "output file (\"-\" = stdout)")
@@ -205,7 +210,7 @@ func main() {
 			fail(err)
 		}
 	}
-	eng := &sweep.Engine{Workers: *workers, Cache: cache}
+	eng := &sweep.Engine{Workers: *workers, Cache: cache, RunTimeout: *runTimeout}
 	if *traceDir != "" {
 		if !*traceEvents && *sampleEvery <= 0 {
 			fail(fmt.Errorf("-trace-dir needs -trace-events and/or -sample-every"))
@@ -237,7 +242,18 @@ func main() {
 	specs := g.Enumerate()
 	fmt.Fprintf(os.Stderr, "dlsweep: %d specs on %d workers (cache: %s)\n",
 		len(specs), nw, cache.Dir())
-	rep := eng.Run(specs)
+
+	// First SIGINT/SIGTERM cancels the sweep: in-flight runs abort at
+	// their next watchdog check, completed results are already in the
+	// cache, and the partial report is still written below — so the same
+	// command re-run resumes where it stopped. A second signal kills the
+	// process the usual way.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	rep := eng.RunContext(ctx, specs)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "dlsweep: interrupted — writing partial report (cached results are kept; re-run to resume)")
+	}
 	fmt.Fprintln(os.Stderr, "dlsweep:", rep.Summary())
 	if err := pf.WriteBench(rep.Outcomes); err != nil {
 		fail(err)
@@ -267,6 +283,9 @@ func main() {
 
 	if rep.Failed > 0 {
 		for _, o := range rep.Failures() {
+			if errors.Is(o.Err, context.Canceled) {
+				continue // one "interrupted" line beats hundreds of these
+			}
 			sp := o.Spec.Canonical()
 			fmt.Fprintf(os.Stderr, "dlsweep: FAILED %s/%s seed %d: %v\n",
 				sp.Benchmark, sp.Scheduler, sp.Seed, o.Err)

@@ -100,9 +100,9 @@ func doRun(file, sched string, sms, warps int) {
 	if err != nil {
 		fail(err.Error())
 	}
-	res := sys.Run()
-	if !res.Drained {
-		fail("simulation hit MaxTicks before completing")
+	res, err := sys.Run()
+	if err != nil {
+		fail(err.Error())
 	}
 	fmt.Printf("trace                %s\n", file)
 	fmt.Printf("scheduler            %s\n", sched)

@@ -18,10 +18,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"dramlat/internal/gddr5"
 	"dramlat/internal/gpu"
+	"dramlat/internal/guard"
 	"dramlat/internal/power"
 	"dramlat/internal/telemetry"
 	"dramlat/internal/workload"
@@ -76,6 +80,36 @@ type RunSpec struct {
 	// engines produce byte-identical Results, so dense and event-driven
 	// runs share a result-cache entry.
 	DenseLoop bool `json:"-"`
+
+	// MaxCycles caps the simulated cycles when non-zero (default
+	// gpu.DefaultConfig().MaxTicks). A run still live at the cap returns
+	// partial Results with a *StallError (kind "cycle-budget"). Excluded
+	// from Canonical and Hash: a completed run's Results are identical
+	// under any sufficient cap, and capped runs error rather than cache.
+	MaxCycles int64 `json:"-"`
+
+	// StallCycles is the liveness watchdog's no-progress budget in sim
+	// cycles: if nothing retires and no warp issues for this long the run
+	// aborts with a *StallError (kind "no-progress") instead of spinning
+	// to MaxCycles. 0 means gpu.DefaultStallCycles; negative disables the
+	// progress check. Hash-excluded like MaxCycles.
+	StallCycles int64 `json:"-"`
+
+	// Deadline aborts the run with a *StallError (kind "deadline") once
+	// the wall clock passes it. Zero means no deadline. Hash-excluded.
+	Deadline time.Time `json:"-"`
+
+	// Stop cancels the run externally: close the channel (or wire it to a
+	// context's Done) and the engines return partial Results with a
+	// *StallError (kind "stopped") at the next watchdog check.
+	// Hash-excluded.
+	Stop <-chan struct{} `json:"-"`
+
+	// Chaos injects faults — components that stop answering, forced
+	// panics — for robustness testing (see internal/guard/chaos). Faulted
+	// runs exist to exercise the watchdog and recovery paths; they error
+	// out and are never cached, so the field is hash-excluded.
+	Chaos *Faults `json:"-"`
 }
 
 // TelemetryOptions re-exports telemetry.Options for callers configuring
@@ -105,12 +139,59 @@ func (s RunSpec) Canonical() RunSpec {
 	if s.Seed == 0 {
 		s.Seed = p.Seed
 	}
-	// Observability and engine choice do not affect the simulation:
-	// canonical specs are telemetry-free and engine-neutral so such runs
-	// compare equal.
+	// Observability, engine choice and run-budget/cancellation knobs do
+	// not affect the simulation a completed run performs: canonical specs
+	// zero them all so such runs compare (and cache) equal.
 	s.Telemetry = telemetry.Options{}
 	s.DenseLoop = false
+	s.MaxCycles = 0
+	s.StallCycles = 0
+	s.Deadline = time.Time{}
+	s.Stop = nil
+	s.Chaos = nil
 	return s
+}
+
+// Validate checks the spec without running it, aggregating every
+// problem into a single *ValidationError (one field per finding) so a
+// bad spec is fixed in one round trip. Run performs the same checks.
+func (s RunSpec) Validate() error {
+	v := &guard.ValidationError{}
+	if _, err := workload.ByName(s.Benchmark); err != nil {
+		v.Addf("Benchmark", s.Benchmark, "%v", err)
+	}
+	if s.Scale < 0 || math.IsNaN(s.Scale) || math.IsInf(s.Scale, 0) {
+		v.Addf("Scale", s.Scale, "must be a finite value >= 0 (0 selects the default)")
+	}
+	if s.SMs < 0 {
+		v.Addf("SMs", s.SMs, "must be >= 0 (0 selects the default)")
+	}
+	if s.WarpsPerSM < 0 {
+		v.Addf("WarpsPerSM", s.WarpsPerSM, "must be >= 0 (0 selects the default)")
+	}
+	if !(s.SBWASAlpha >= 0 && s.SBWASAlpha <= 1) { // rejects NaN too
+		v.Addf("SBWASAlpha", s.SBWASAlpha, "must be in [0, 1]")
+	}
+	if s.ReadQ < 0 {
+		v.Addf("ReadQ", s.ReadQ, "must be >= 0 (0 selects the default)")
+	}
+	if s.CmdQueueCap < 0 {
+		v.Addf("CmdQueueCap", s.CmdQueueCap, "must be >= 0 (0 selects the default)")
+	}
+	if s.MaxCycles < 0 {
+		v.Addf("MaxCycles", s.MaxCycles, "must be >= 0 (0 selects the default)")
+	}
+	// The assembled config re-checks everything the spec maps onto
+	// (scheduler name, warp scheduler, geometry, queue shapes).
+	if err := Config(s).Validate(); err != nil {
+		var ve *guard.ValidationError
+		if errors.As(err, &ve) {
+			v.Fields = append(v.Fields, ve.Fields...)
+		} else {
+			v.Addf("Config", nil, "%v", err)
+		}
+	}
+	return v.Err()
 }
 
 // CanonicalJSON renders the canonicalized spec as deterministic JSON
@@ -204,6 +285,13 @@ func Config(spec RunSpec) gpu.Config {
 	}
 	cfg.Telemetry = spec.Telemetry
 	cfg.DenseLoop = spec.DenseLoop
+	if spec.MaxCycles > 0 {
+		cfg.MaxTicks = spec.MaxCycles
+	}
+	cfg.StallCycles = spec.StallCycles
+	cfg.Deadline = spec.Deadline
+	cfg.Stop = spec.Stop
+	cfg.Faults = spec.Chaos
 	return cfg
 }
 
@@ -212,7 +300,11 @@ func Config(spec RunSpec) gpu.Config {
 // snapshots.
 type Telemetry = telemetry.Telemetry
 
-// Run executes one simulation.
+// Run executes one simulation. It never panics: an invalid spec
+// returns a *ValidationError, a hung, capped or cancelled run returns
+// partial Results with a *StallError, and any residual panic inside
+// the simulator is recovered into a *RunError carrying the spec hash,
+// phase, cycle and stack. Inspect failures with errors.As.
 func Run(spec RunSpec) (Results, error) {
 	res, _, err := RunTelemetry(spec)
 	return res, err
@@ -220,17 +312,32 @@ func Run(spec RunSpec) (Results, error) {
 
 // RunTelemetry executes one simulation and additionally returns its
 // telemetry bundle — nil unless spec.Telemetry enables a subsystem. The
-// bundle is returned even when the run errors out on MaxTicks, so a hung
-// configuration can be diagnosed from its partial trace.
-func RunTelemetry(spec RunSpec) (Results, *Telemetry, error) {
+// bundle is returned even when the run errors out on a stall or budget,
+// so a hung configuration can be diagnosed from its partial trace. It
+// shares Run's no-panic contract.
+func RunTelemetry(spec RunSpec) (res Results, tel *Telemetry, err error) {
+	phase := guard.PhaseValidate
+	var sys *gpu.System
+	defer func() {
+		if r := recover(); r != nil {
+			cycle := int64(-1)
+			if sys != nil {
+				cycle = sys.Now()
+				tel = sys.Tel
+			}
+			res = Results{}
+			err = guard.Recovered(r, spec.Hash(), phase, cycle)
+		}
+	}()
+	if err := spec.Validate(); err != nil {
+		return Results{}, nil, err
+	}
+	phase = guard.PhaseBuild
 	b, err := workload.ByName(spec.Benchmark)
 	if err != nil {
 		return Results{}, nil, err
 	}
 	cfg := Config(spec)
-	if err := cfg.Validate(); err != nil {
-		return Results{}, nil, err
-	}
 	p := workload.DefaultParams()
 	p.NumSMs = cfg.NumSMs
 	p.WarpsPerSM = cfg.WarpsPerSM
@@ -240,13 +347,15 @@ func RunTelemetry(spec RunSpec) (Results, *Telemetry, error) {
 	if spec.Seed != 0 {
 		p.Seed = spec.Seed
 	}
-	sys, err := gpu.NewSystem(cfg, b.Build(p))
+	sys, err = gpu.NewSystem(cfg, b.Build(p))
 	if err != nil {
 		return Results{}, nil, err
 	}
-	res := sys.Run()
-	if !res.Drained {
-		return res, sys.Tel, fmt.Errorf("dramlat: %s/%s hit MaxTicks before completing", spec.Benchmark, spec.Scheduler)
+	phase = guard.PhaseRun
+	res, rerr := sys.Run()
+	if rerr != nil {
+		// %w keeps errors.As(*StallError) working under the context wrap.
+		return res, sys.Tel, fmt.Errorf("dramlat: %s/%s: %w", spec.Benchmark, cfg.Scheduler, rerr)
 	}
 	return res, sys.Tel, nil
 }

@@ -99,7 +99,11 @@ func TestEventDrivenMatchesDenseRefresh(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				return sys.Run()
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
 			}
 			dense, event := build(true), build(false)
 			if !reflect.DeepEqual(dense, event) {

@@ -41,7 +41,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := sys.Run()
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6s ticks=%-8d IPC=%.3f divergence-gap=%.0f\n",
 			sched, res.Ticks, res.IPC, res.Summary.DivergenceGap)
 	}

@@ -1,0 +1,61 @@
+package dramlat
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzRunSpec asserts the façade's no-panic contract over arbitrary
+// specs: Run either succeeds or returns a typed error. A *RunError —
+// the recovered-panic wrapper — is itself a failure here, because for
+// machine-generated (not chaos-injected) specs every panic path must be
+// fenced off by validation.
+//
+// Geometry and scale are clamped (not rejected) so the fuzzer explores
+// behavior, not allocation limits; MaxCycles/StallCycles bound each
+// case's runtime.
+func FuzzRunSpec(f *testing.F) {
+	f.Add("bfs", "gmc", 2, 4, int64(1), 0.05, "gto", 0, 0)
+	f.Add("spmv", "wg-w", 4, 8, int64(3), 0.1, "lrr", 32, 8)
+	f.Add("streamcluster", "atlas", 1, 1, int64(-7), 0.01, "", 1, 1)
+	f.Add("", "bogus", -1, 0, int64(0), -2.0, "mystery", -5, 1<<20)
+	f.Fuzz(func(t *testing.T, bench, sched string, sms, warps int, seed int64, scale float64, ws string, readq, cmdq int) {
+		if sms > 6 {
+			sms = sms%6 + 1
+		}
+		if warps > 12 {
+			warps = warps%12 + 1
+		}
+		if scale > 0.1 {
+			scale = 0.1
+		}
+		if readq > 256 {
+			readq = readq%256 + 1
+		}
+		if cmdq > 64 {
+			cmdq = cmdq%64 + 1
+		}
+		spec := RunSpec{
+			Benchmark: bench, Scheduler: sched, Scale: scale,
+			SMs: sms, WarpsPerSM: warps, Seed: seed, WarpSched: ws,
+			ReadQ: readq, CmdQueueCap: cmdq,
+			MaxCycles: 150_000, StallCycles: 30_000,
+		}
+		_, err := Run(spec) // must never panic
+		if err == nil {
+			return
+		}
+		var ve *ValidationError
+		var se *StallError
+		var re *RunError
+		switch {
+		case errors.As(err, &ve), errors.As(err, &se):
+			// The two legitimate failure modes: rejected up front, or
+			// aborted by the watchdog under the tight budgets above.
+		case errors.As(err, &re):
+			t.Fatalf("panic escaped validation for %+v: %v\n%s", spec, re, re.Stack)
+		default:
+			t.Fatalf("untyped error for %+v: %v", spec, err)
+		}
+	})
+}

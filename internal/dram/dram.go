@@ -22,9 +22,8 @@
 package dram
 
 import (
-	"fmt"
-
 	"dramlat/internal/gddr5"
+	"dramlat/internal/guard"
 	"dramlat/internal/memreq"
 )
 
@@ -265,6 +264,10 @@ func (c *Channel) maybeRefresh(now int64) bool {
 // commands execute, or -1 if the bank will be (or stay) closed.
 func (c *Channel) SchedRow(b int) int { return c.banks[b].schedRow }
 
+// OpenRow returns the row currently open in bank b (-1 precharged),
+// for diagnostics.
+func (c *Channel) OpenRow(b int) int { return c.banks[b].openRow }
+
 // QueuedTxns returns the number of transactions queued at bank b.
 func (c *Channel) QueuedTxns(b int) int { return c.banks[b].queuedTxns }
 
@@ -336,7 +339,10 @@ func (c *Channel) tickBusOnly(now int64) bool {
 func (c *Channel) Enqueue(r *memreq.Request) *Transaction {
 	b := &c.banks[r.Bank]
 	if b.queuedTxns >= c.QueueCap {
-		panic(fmt.Sprintf("dram: enqueue to full bank %d", r.Bank))
+		// Hot-path invariant: callers must CanAccept first. Kept as a
+		// (typed) panic — the model cannot continue — and converted into
+		// a *guard.RunError by the façade's recover.
+		guard.Invariantf("dram: enqueue to full bank %d", r.Bank)
 	}
 	c.cmdWake = 0
 	casType := CmdRD

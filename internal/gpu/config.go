@@ -5,10 +5,12 @@
 package gpu
 
 import (
-	"fmt"
 	"io"
+	"time"
 
 	"dramlat/internal/gddr5"
+	"dramlat/internal/guard"
+	"dramlat/internal/guard/chaos"
 	"dramlat/internal/telemetry"
 )
 
@@ -76,8 +78,30 @@ type Config struct {
 	// rely on the age fallback alone).
 	Ablation string
 
-	// MaxTicks bounds the simulation.
+	// MaxTicks bounds the simulation. Exhausting it with warps still
+	// live aborts the run with a *guard.StallError (cycle-budget kind).
 	MaxTicks int64
+
+	// StallCycles is the liveness watchdog's no-progress budget: if no
+	// instruction issues and no request is accepted or retired anywhere
+	// in the system for this many consecutive simulation cycles while
+	// warps are still live, Run aborts with a *guard.StallError carrying
+	// a diagnostic dump instead of spinning to MaxTicks. 0 selects
+	// DefaultStallCycles; negative disables the watchdog.
+	StallCycles int64
+
+	// Deadline, when non-zero, is a wall-clock bound checked at watchdog
+	// cadence; exceeding it aborts with a deadline StallError.
+	Deadline time.Time
+
+	// Stop, when non-nil, cancels the run when closed (checked at
+	// watchdog cadence); the run aborts with a stopped StallError.
+	Stop <-chan struct{}
+
+	// Faults injects chaos-test failures (late wakeups, forced panics).
+	// nil — the production value — injects nothing and keeps results
+	// byte-identical to a build without the hooks.
+	Faults *chaos.Faults
 
 	// DenseLoop selects the reference tick-every-cycle engine instead of
 	// the event-driven next-wakeup engine. Results are byte-identical
@@ -150,16 +174,109 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate sanity-checks the configuration.
-func (c Config) Validate() error {
-	if c.NumSMs <= 0 || c.WarpsPerSM <= 0 || c.NumChannels <= 0 {
-		return fmt.Errorf("gpu: non-positive geometry")
+// DefaultStallCycles is the watchdog's no-progress budget when
+// Config.StallCycles is zero: 1M command cycles (~0.67ms of sim time)
+// with zero system-wide progress is far beyond any legal quiet period
+// (the longest legitimate gaps — a full write drain against busy banks —
+// retire bursts every few hundred cycles).
+const DefaultStallCycles = 1_000_000
+
+// Sanity ceilings for Validate: far above Table II and every sweep this
+// repo runs, low enough that a corrupted or fuzzed config fails fast
+// instead of attempting a multi-terabyte allocation.
+const (
+	maxSMs        = 4096
+	maxWarpsPerSM = 2048
+	maxChannels   = 1024
+	maxBanks      = 4096
+)
+
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// validateCache checks the set-associative geometry cache.New requires,
+// so a bad config is a field-level error here instead of a constructor
+// panic downstream.
+func validateCache(v *guard.ValidationError, field string, sizeBytes, lineBytes, ways, mshrs int) {
+	if ways <= 0 {
+		v.Addf(field+"Ways", ways, "must be positive")
+		return
 	}
-	if c.WarpSched != "" && c.WarpSched != "gto" && c.WarpSched != "lrr" {
-		return fmt.Errorf("gpu: unknown warp scheduler %q", c.WarpSched)
+	lines := 0
+	if lineBytes > 0 {
+		lines = sizeBytes / lineBytes
+	}
+	if lines <= 0 || lines%ways != 0 {
+		v.Addf(field+"Size", sizeBytes, "size/line/ways mismatch: %d lines must be positive and divisible by %d ways", lines, ways)
+		return
+	}
+	if !powerOfTwo(lines / ways) {
+		v.Addf(field+"Size", sizeBytes, "set count %d must be a power of two", lines/ways)
+	}
+	if mshrs <= 0 {
+		v.Addf(field+"MSHRs", mshrs, "must be positive")
+	}
+}
+
+// Validate checks every constructor precondition of the assembled
+// system and returns a *guard.ValidationError naming each offending
+// field, so NewSystem (and therefore dramlat.Run) rejects a bad config
+// with a structured error before any cycle runs instead of panicking
+// out of internal/addrmap, internal/cache or internal/dram.
+func (c Config) Validate() error {
+	v := &guard.ValidationError{}
+	switch {
+	case c.NumSMs <= 0:
+		v.Addf("NumSMs", c.NumSMs, "must be positive")
+	case c.NumSMs > maxSMs:
+		v.Addf("NumSMs", c.NumSMs, "exceeds sanity ceiling %d", maxSMs)
+	}
+	switch {
+	case c.WarpsPerSM <= 0:
+		v.Addf("WarpsPerSM", c.WarpsPerSM, "must be positive")
+	case c.WarpsPerSM > maxWarpsPerSM:
+		v.Addf("WarpsPerSM", c.WarpsPerSM, "exceeds sanity ceiling %d", maxWarpsPerSM)
+	}
+	switch {
+	case c.NumChannels <= 0:
+		v.Addf("NumChannels", c.NumChannels, "must be positive")
+	case c.NumChannels > maxChannels:
+		v.Addf("NumChannels", c.NumChannels, "exceeds sanity ceiling %d", maxChannels)
+	}
+	// addrmap.New and dram.NewChannel preconditions.
+	switch {
+	case !powerOfTwo(c.NumBanks):
+		v.Addf("NumBanks", c.NumBanks, "must be a positive power of two")
+	case c.NumBanks > maxBanks:
+		v.Addf("NumBanks", c.NumBanks, "exceeds sanity ceiling %d", maxBanks)
+	case c.BankGroups <= 0 || c.NumBanks%c.BankGroups != 0:
+		v.Addf("BankGroups", c.BankGroups, "banks (%d) must divide evenly into groups", c.NumBanks)
+	}
+	if !powerOfTwo(c.LineBytes) {
+		v.Addf("LineBytes", c.LineBytes, "must be a positive power of two")
+	} else {
+		validateCache(v, "L1", c.L1SizeBytes, c.LineBytes, c.L1Ways, c.L1MSHRs)
+		validateCache(v, "L2", c.L2SliceSize, c.LineBytes, c.L2Ways, c.L2MSHRs)
+	}
+	if c.CmdQueueCap <= 0 {
+		v.Addf("CmdQueueCap", c.CmdQueueCap, "must be positive")
+	}
+	if c.ReadQ <= 0 {
+		v.Addf("ReadQ", c.ReadQ, "must be positive")
+	}
+	if c.WriteQ <= 0 {
+		v.Addf("WriteQ", c.WriteQ, "must be positive")
 	}
 	if c.HighWM > c.WriteQ || c.LowWM >= c.HighWM {
-		return fmt.Errorf("gpu: bad write watermarks %d/%d (cap %d)", c.HighWM, c.LowWM, c.WriteQ)
+		v.Addf("HighWM", c.HighWM, "bad write watermarks high %d / low %d (cap %d)", c.HighWM, c.LowWM, c.WriteQ)
+	}
+	if c.XbarQueue <= 0 {
+		v.Addf("XbarQueue", c.XbarQueue, "must be positive")
+	}
+	if c.L2PipeDepth <= 0 {
+		v.Addf("L2PipeDepth", c.L2PipeDepth, "must be positive")
+	}
+	if c.WarpSched != "" && c.WarpSched != "gto" && c.WarpSched != "lrr" {
+		v.Addf("WarpSched", c.WarpSched, "unknown warp scheduler (want gto or lrr)")
 	}
 	ok := false
 	for _, s := range Schedulers() {
@@ -169,7 +286,10 @@ func (c Config) Validate() error {
 		}
 	}
 	if !ok {
-		return fmt.Errorf("gpu: unknown scheduler %q", c.Scheduler)
+		v.Addf("Scheduler", c.Scheduler, "unknown scheduler (see Schedulers())")
 	}
-	return nil
+	if c.MaxTicks <= 0 {
+		v.Addf("MaxTicks", c.MaxTicks, "must be positive")
+	}
+	return v.Err()
 }

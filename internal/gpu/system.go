@@ -8,6 +8,8 @@ import (
 	"dramlat/internal/coordnet"
 	"dramlat/internal/core"
 	"dramlat/internal/dram"
+	"dramlat/internal/guard"
+	"dramlat/internal/guard/chaos"
 	"dramlat/internal/memctrl"
 	"dramlat/internal/memreq"
 	"dramlat/internal/sm"
@@ -235,25 +237,36 @@ func (s *System) buildScheduler(ch int) (memctrl.Scheduler, *core.WarpScheduler)
 	panic("gpu: unknown scheduler " + cfg.Scheduler)
 }
 
-// Run executes the simulation until every warp retires or MaxTicks elapse.
-// Kernel time (Results.Ticks) is the tick at which the last warp retired;
-// the write-back tail left in the memory system is not part of it, matching
-// the paper's IPC measurement.
+// Run executes the simulation until every warp retires, MaxTicks
+// elapse, or the liveness watchdog trips. Kernel time (Results.Ticks)
+// is the tick at which the last warp retired; the write-back tail left
+// in the memory system is not part of it, matching the paper's IPC
+// measurement.
+//
+// On a completed run the error is nil. A run that exhausts MaxTicks,
+// makes no forward progress for Cfg.StallCycles, misses Cfg.Deadline,
+// or is cancelled through Cfg.Stop returns partial Results together
+// with a *guard.StallError carrying a diagnostic dump — never a hang.
+// The watchdog only reads state, so completed runs remain
+// byte-identical to a watchdog-free build.
 //
 // The default engine is event-driven: it visits a component only at
 // ticks where its state can change and jumps time to the next wakeup
 // when nothing is runnable, producing results byte-identical to the
 // dense reference loop (Cfg.DenseLoop; see DESIGN.md "Simulation
 // engine" and TestEventDrivenMatchesDense).
-func (s *System) Run() Results {
+func (s *System) Run() (Results, error) {
 	if s.Cfg.DenseLoop {
 		return s.runDense()
 	}
 	return s.runEvent()
 }
 
+// Now reports the current simulation cycle (for panic-recovery context).
+func (s *System) Now() int64 { return s.now }
+
 // runDense is the reference engine: every component ticks every cycle.
-func (s *System) runDense() Results {
+func (s *System) runDense() (Results, error) {
 	doneTick := int64(-1)
 	// nextSample keeps the per-tick telemetry cost to one compare when
 	// sampling is off (it never matches).
@@ -271,19 +284,29 @@ func (s *System) runDense() Results {
 			live++
 		}
 	}
+	wd := s.newWatchdog()
+	f := s.Cfg.Faults
+	var stall *guard.StallError
 	for s.now = 0; s.now < s.Cfg.MaxTicks; s.now++ {
 		now := s.now
+		f.CheckPanic(now)
 		s.Engine.VisitedTicks++
 		s.Engine.SMTicks += int64(len(s.sms))
 		s.Engine.PartTicks += int64(len(s.parts))
 		for i, c := range s.sms {
+			if f.Asleep(chaos.TargetSM, i, now) {
+				continue
+			}
 			c.Tick(now, s.x.PopResponse(i, now))
 			if !smDone[i] && c.Done() {
 				smDone[i] = true
 				live--
 			}
 		}
-		for _, p := range s.parts {
+		for ch, p := range s.parts {
+			if f.Asleep(chaos.TargetPartition, ch, now) {
+				continue
+			}
 			p.Tick(now)
 		}
 		if now == nextSample {
@@ -295,11 +318,23 @@ func (s *System) runDense() Results {
 			doneTick = now
 			break
 		}
+		if now >= wd.next {
+			if stall = wd.check(now); stall != nil {
+				break
+			}
+		}
 	}
 	if s.Tel != nil {
 		s.flushTelemetry(lastSample)
 	}
-	return s.results(doneTick)
+	res := s.results(doneTick)
+	if doneTick < 0 && stall == nil {
+		stall = s.stallError(guard.StallCycleBudget, s.now, s.Cfg.MaxTicks)
+	}
+	if stall != nil {
+		return res, stall
+	}
+	return res, nil
 }
 
 // runEvent is the next-wakeup engine. Invariant: at every visited tick
@@ -309,7 +344,7 @@ func (s *System) runDense() Results {
 // no-op (modulo the SM idle counters, which CatchUp batches). By
 // induction over visited ticks the two engines produce byte-identical
 // state, hence byte-identical Results and telemetry.
-func (s *System) runEvent() Results {
+func (s *System) runEvent() (Results, error) {
 	doneTick := int64(-1)
 	nextSample := int64(-1)
 	lastSample := int64(-1)
@@ -338,8 +373,12 @@ func (s *System) runEvent() Results {
 	const bigTick = int64(1) << 62
 	smBase, partBase := int64(0), int64(0)
 	now := int64(0)
+	wd := s.newWatchdog()
+	f := s.Cfg.Faults
+	var stall *guard.StallError
 	for now < s.Cfg.MaxTicks {
 		s.now = now
+		f.CheckPanic(now)
 		s.Engine.VisitedTicks++
 		if now >= smBase || now >= s.x.MinRespWake() {
 			smBase = bigTick
@@ -348,7 +387,11 @@ func (s *System) runEvent() Results {
 				if rw := s.x.RespWake(i); rw < eff {
 					eff = rw
 				}
-				if eff <= now {
+				// A comatose component models a late NextWakeup answer:
+				// its due tick passes unserved. Leaving smWake stale
+				// (<= now) keeps the loop stepping densely so the
+				// watchdog, not a hang, reports it.
+				if eff <= now && !f.Asleep(chaos.TargetSM, i, now) {
 					if gap := now - 1 - smLast[i]; gap > 0 {
 						c.CatchUp(gap)
 					}
@@ -378,6 +421,9 @@ func (s *System) runEvent() Results {
 					}
 				}
 				if eff > now {
+					continue
+				}
+				if f.Asleep(chaos.TargetPartition, ch, now) {
 					continue
 				}
 				s.Engine.PartTicks++
@@ -412,7 +458,13 @@ func (s *System) runEvent() Results {
 			doneTick = now
 			break
 		}
-		// Jump to the earliest wakeup, clamped to the next sample tick.
+		if now >= wd.next {
+			if stall = wd.check(now); stall != nil {
+				break
+			}
+		}
+		// Jump to the earliest wakeup, clamped to the next sample tick
+		// and the next watchdog check.
 		next := s.Cfg.MaxTicks
 		if smBase < next {
 			next = smBase
@@ -429,12 +481,19 @@ func (s *System) runEvent() Results {
 		if nextSample >= 0 && nextSample < next {
 			next = nextSample
 		}
+		if wd.next < next {
+			next = wd.next
+		}
 		if next <= now {
 			next = now + 1 // a stale-early bound forces dense stepping
 		}
 		now = next
 	}
-	if doneTick < 0 {
+	if stall != nil {
+		// Aborted mid-run: bring idle accounting current through the
+		// abort tick so partial Results read dense-identical counters.
+		s.catchUpSMs(s.now, smLast)
+	} else if doneTick < 0 {
 		// MaxTicks exhausted: the dense loop ticked (and idle-counted)
 		// every SM through MaxTicks-1.
 		s.now = s.Cfg.MaxTicks
@@ -445,7 +504,14 @@ func (s *System) runEvent() Results {
 	if s.Tel != nil {
 		s.flushTelemetry(lastSample)
 	}
-	return s.results(doneTick)
+	res := s.results(doneTick)
+	if doneTick < 0 && stall == nil {
+		stall = s.stallError(guard.StallCycleBudget, s.now, s.Cfg.MaxTicks)
+	}
+	if stall != nil {
+		return res, stall
+	}
+	return res, nil
 }
 
 // catchUpSMs flushes batched idle accounting for every SM through tick

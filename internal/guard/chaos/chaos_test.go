@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAsleepWindow(t *testing.T) {
+	var nilF *Faults
+	if nilF.Asleep(TargetSM, 0, 100) {
+		t.Fatal("nil Faults injected a fault")
+	}
+	f := &Faults{WakeTarget: TargetPartition, WakeIndex: 2, WakeAfter: 1000, WakeDelay: 500}
+	cases := []struct {
+		kind string
+		idx  int
+		now  int64
+		want bool
+	}{
+		{TargetPartition, 2, 999, false},  // before the window
+		{TargetPartition, 2, 1000, true},  // window opens
+		{TargetPartition, 2, 1499, true},  // still inside
+		{TargetPartition, 2, 1500, false}, // window closed
+		{TargetPartition, 1, 1200, false}, // wrong index
+		{TargetSM, 2, 1200, false},        // wrong kind
+	}
+	for _, c := range cases {
+		if got := f.Asleep(c.kind, c.idx, c.now); got != c.want {
+			t.Fatalf("Asleep(%s, %d, %d) = %v, want %v", c.kind, c.idx, c.now, got, c.want)
+		}
+	}
+	forever := &Faults{WakeTarget: TargetSM, WakeAfter: 10}
+	if !forever.Asleep(TargetSM, 0, 1<<40) {
+		t.Fatal("zero WakeDelay should mean forever")
+	}
+}
+
+func TestCheckPanicOneShot(t *testing.T) {
+	var nilF *Faults
+	nilF.CheckPanic(100) // must not panic
+	f := &Faults{PanicAtCycle: 50}
+	f.CheckPanic(49) // not yet
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("armed CheckPanic did not fire")
+			}
+			if !strings.Contains(r.(string), "cycle 50") {
+				t.Fatalf("panic value: %v", r)
+			}
+		}()
+		f.CheckPanic(50)
+	}()
+	f.CheckPanic(51) // disarmed after firing: recovery must not re-trip
+}
+
+func TestCorruptFileDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	orig := bytes.Repeat([]byte("cache entry payload "), 20)
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := write("a"), write("b")
+	if err := CorruptFile(p1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(p2, 7); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if bytes.Equal(b1, orig) {
+		t.Fatal("file unchanged")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if err := CorruptFile(filepath.Join(dir, "missing"), 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -8,6 +8,7 @@ package memctrl
 
 import (
 	"dramlat/internal/dram"
+	"dramlat/internal/guard"
 	"dramlat/internal/memreq"
 	"dramlat/internal/telemetry"
 )
@@ -265,7 +266,9 @@ func (ctl *Controller) dispatchRead(now int64) bool {
 		return false
 	}
 	if !ctl.Chan.CanAccept(r.Bank) {
-		panic("memctrl: scheduler returned read for full bank " + r.String())
+		// Hot-path invariant (the Scheduler contract); a typed panic the
+		// façade's recover converts into a *guard.RunError.
+		guard.Invariantf("memctrl: scheduler returned read for full bank %s", r)
 	}
 	ctl.readCount--
 	ctl.Chan.Enqueue(r)

@@ -158,8 +158,17 @@ func New(cfg Config, programs []Program) *SM {
 // Done reports whether every warp has retired.
 func (s *SM) Done() bool { return s.active == 0 }
 
+// ReplayLen reports the LSU replay-queue occupancy (diagnostics).
+func (s *SM) ReplayLen() int { return len(s.replay) }
+
 // Warps exposes warp states (read-only use).
 func (s *SM) Warps() []*Warp { return s.warps }
+
+// Done reports whether the warp has retired.
+func (w *Warp) Done() bool { return w.done }
+
+// Blocked reports whether the warp is blocked on an outstanding load.
+func (w *Warp) Blocked() bool { return w.blocked }
 
 // gid builds the group identity for a warp's load.
 func (s *SM) gid(w *Warp, load uint32) memreq.GroupID {

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -37,30 +39,65 @@ func (c *Cache) Dir() string {
 }
 
 // entry is the on-disk record: the canonical spec rides along with the
-// results so cache files are self-describing and auditable.
+// results so cache files are self-describing and auditable, and a
+// checksum over both detects torn or bit-rotted files.
 type entry struct {
 	Spec    dramlat.RunSpec `json:"spec"`
 	Results dramlat.Results `json:"results"`
+	// Checksum is hex SHA-256 over the compact JSON of {spec, results}.
+	Checksum string `json:"checksum"`
+}
+
+// checksum computes the entry's content digest. Compact (non-indented)
+// marshalling makes the digest independent of the pretty-printing the
+// file itself uses.
+func checksum(spec dramlat.RunSpec, res dramlat.Results) string {
+	payload, err := json.Marshal(entry{Spec: spec, Results: res})
+	if err != nil {
+		// Both structs are plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("sweep: checksum marshal: %v", err))
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
 }
 
 func (c *Cache) path(hash string) string {
 	return filepath.Join(c.dir, hash[:2], hash+".json")
 }
 
-// Get returns the cached results for a spec, if present and well-formed.
+// Get returns the cached results for a spec, if present and verified:
+// an entry that fails to parse or whose checksum does not match its
+// content (torn write survived a crash, disk corruption, hand-edited
+// file, or a pre-checksum legacy entry) is quarantined — renamed to
+// <path>.corrupt for post-mortem — and reported as a miss, so the sweep
+// transparently re-runs and re-caches the spec.
 func (c *Cache) Get(spec dramlat.RunSpec) (dramlat.Results, bool) {
 	if c == nil {
 		return dramlat.Results{}, false
 	}
-	b, err := os.ReadFile(c.path(spec.Hash()))
+	path := c.path(spec.Hash())
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return dramlat.Results{}, false
 	}
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil {
+		c.quarantine(path)
+		return dramlat.Results{}, false
+	}
+	if e.Checksum != checksum(e.Spec, e.Results) {
+		c.quarantine(path)
 		return dramlat.Results{}, false
 	}
 	return e.Results, true
+}
+
+// quarantine moves a bad entry aside (best-effort; removed on rename
+// failure) so it stops shadowing the slot but stays inspectable.
+func (c *Cache) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		os.Remove(path)
+	}
 }
 
 // Put stores a result. Failed runs are never stored, so a crash or
@@ -70,7 +107,8 @@ func (c *Cache) Put(spec dramlat.RunSpec, res dramlat.Results) error {
 		return nil
 	}
 	hash := spec.Hash()
-	b, err := json.MarshalIndent(entry{Spec: spec.Canonical(), Results: res}, "", " ")
+	canon := spec.Canonical()
+	b, err := json.MarshalIndent(entry{Spec: canon, Results: res, Checksum: checksum(canon, res)}, "", " ")
 	if err != nil {
 		return fmt.Errorf("sweep: encode cache entry: %w", err)
 	}

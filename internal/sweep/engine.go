@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -52,6 +53,12 @@ type Engine struct {
 	// Ignored when a custom Runner is installed.
 	Telemetry    dramlat.TelemetryOptions
 	TelemetryDir string
+	// RunTimeout, when positive, gives every executed spec a wall-clock
+	// deadline (spec.Deadline = now + RunTimeout, unless the spec already
+	// carries one). A run that exceeds it aborts with a
+	// *dramlat.StallError outcome — aggregated like any other failure,
+	// never cached, so the next sweep retries it.
+	RunTimeout time.Duration
 }
 
 // Report aggregates a finished sweep.
@@ -104,12 +111,38 @@ func (e *Engine) runner() func(dramlat.RunSpec) (dramlat.Results, error) {
 	return dramlat.Run
 }
 
+// prepare arms one spec for execution under ctx: in-flight simulations
+// observe cancellation through their Stop channel (at watchdog cadence,
+// so a Ctrl-C drains in milliseconds of sim work, not whole runs), and
+// RunTimeout becomes a per-run wall-clock deadline. The returned copy
+// hashes identically to the input — Stop and Deadline are hash-excluded
+// — so cache keys are unaffected.
+func (e *Engine) prepare(ctx context.Context, spec dramlat.RunSpec) dramlat.RunSpec {
+	if spec.Stop == nil {
+		spec.Stop = ctx.Done()
+	}
+	if e.RunTimeout > 0 && spec.Deadline.IsZero() {
+		spec.Deadline = time.Now().Add(e.RunTimeout)
+	}
+	return spec
+}
+
 // Run executes every spec and returns the aggregated report. One failed
 // spec never aborts the sweep — it is recorded and the rest continue.
 // Specs with equal content hashes are executed once and share the result,
 // and results are byte-identical to serial execution regardless of the
 // worker count (each simulation is self-contained and seeded).
 func (e *Engine) Run(specs []dramlat.RunSpec) *Report {
+	return e.RunContext(context.Background(), specs)
+}
+
+// RunContext is Run under a context: cancelling ctx stops accepting new
+// work, aborts in-flight simulations at their next watchdog check, and
+// still returns the full report — completed outcomes keep their results
+// (already persisted to the cache), unstarted and aborted specs carry
+// ctx.Err()-flavored failures. A cancelled sweep is therefore resumable:
+// re-running it serves the finished prefix from the cache.
+func (e *Engine) RunContext(ctx context.Context, specs []dramlat.RunSpec) *Report {
 	start := time.Now()
 	rep := &Report{Outcomes: make([]Outcome, len(specs))}
 	if len(specs) == 0 {
@@ -193,13 +226,20 @@ func (e *Engine) Run(specs []dramlat.RunSpec) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				// Fast-fail once cancelled: drain the queue without
+				// touching cache or simulator so the sweep unwinds
+				// promptly and every spec still gets an outcome.
+				if err := ctx.Err(); err != nil {
+					finish(i, Outcome{Err: err})
+					continue
+				}
 				spec := rep.Outcomes[i].Spec
 				if res, ok := e.Cache.Get(spec); ok {
 					finish(i, Outcome{Results: res, Cached: true})
 					continue
 				}
 				t0 := time.Now()
-				res, err := run(spec)
+				res, err := run(e.prepare(ctx, spec))
 				o := Outcome{Results: res, Err: err, Elapsed: time.Since(t0)}
 				if err == nil {
 					if cerr := e.Cache.Put(spec, res); cerr != nil {
@@ -224,13 +264,23 @@ func (e *Engine) Run(specs []dramlat.RunSpec) *Report {
 // RunOne executes a single spec through the cache, for callers that
 // interleave ad-hoc runs with grid sweeps (e.g. cmd/dlbench table code).
 func (e *Engine) RunOne(spec dramlat.RunSpec) Outcome {
+	return e.RunOneContext(context.Background(), spec)
+}
+
+// RunOneContext is RunOne under a context, with the same cancellation
+// and timeout semantics as RunContext.
+func (e *Engine) RunOneContext(ctx context.Context, spec dramlat.RunSpec) Outcome {
 	o := Outcome{Spec: spec, Hash: spec.Hash()}
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		return o
+	}
 	if res, ok := e.Cache.Get(spec); ok {
 		o.Results, o.Cached = res, true
 		return o
 	}
 	t0 := time.Now()
-	res, err := e.runner()(spec)
+	res, err := e.runner()(e.prepare(ctx, spec))
 	o.Results, o.Err, o.Elapsed = res, err, time.Since(t0)
 	if err == nil {
 		if cerr := e.Cache.Put(spec, res); cerr != nil {

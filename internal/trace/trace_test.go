@@ -142,12 +142,12 @@ func TestTraceSimulatesIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := s1.Run()
+	r1, _ := s1.Run()
 	s2, err := gpu.NewSystem(cfg, replay)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2 := s2.Run()
+	r2, _ := s2.Run()
 	if r1.Ticks != r2.Ticks || r1.Instr != r2.Instr || r1.DRAM.RDBursts != r2.DRAM.RDBursts {
 		t.Fatalf("replay differs: %+v vs %+v", r1, r2)
 	}

@@ -14,7 +14,7 @@ func TestDebugChar(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := sys.Run()
+		res, _ := sys.Run()
 		fmt.Printf("%-14s drained=%v ticks=%-8d reqs/ld=%.2f multi=%.2f mcs=%.2f wrfrac=%.3f rdtxn=%d wrtxn=%d l2hr=%.2f l1hr=%.2f util=%.2f rowhit=%.2f\n",
 			b.Name, res.Drained, res.Ticks, res.Summary.ReqsPerLoad, res.Summary.MultiReqFrac,
 			res.Summary.AvgMCsTouched, res.WriteFrac, res.DRAM.ReadTxns, res.DRAM.WriteTxns, res.L2HitRate, res.L1HitRate, res.Utilization, res.RowHitRate)

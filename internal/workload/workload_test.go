@@ -120,8 +120,8 @@ func TestCharacterization(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
-		res := sys.Run()
-		if !res.Drained {
+		res, err := sys.Run()
+		if err != nil {
 			t.Fatalf("%s: did not complete", b.Name)
 		}
 		sum := res.Summary
@@ -193,9 +193,8 @@ func TestAllBenchmarksUnderWGW(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
-		res := sys.Run()
-		if !res.Drained {
-			t.Fatalf("%s: stuck under wg-w", b.Name)
+		if _, err := sys.Run(); err != nil {
+			t.Fatalf("%s: stuck under wg-w: %v", b.Name, err)
 		}
 		if sys.Col.Outstanding() != 0 {
 			t.Fatalf("%s: %d groups unfinished", b.Name, sys.Col.Outstanding())

@@ -99,7 +99,11 @@ func run(c cell, dense bool) (*gpu.System, gpu.Results, time.Duration) {
 		os.Exit(1)
 	}
 	start := time.Now()
-	res := sys.Run()
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench3:", err)
+		os.Exit(1)
+	}
 	return sys, res, time.Since(start)
 }
 

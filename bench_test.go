@@ -259,12 +259,15 @@ func BenchmarkWAFCFS(b *testing.B) {
 // engine and reports simulated-ticks/second. The dense/event pair is the
 // speedup measurement behind DESIGN.md's "Simulation engine" section;
 // scripts/bench3 sweeps the full scheduler x workload matrix into
-// BENCH_3.json.
-func benchEngine(b *testing.B, dense bool) {
+// BENCH_3.json and scripts/bench5 does the serial-vs-parallel sweep into
+// BENCH_5.json. Allocation counts are reported so -benchmem tracks the
+// request-freelist and ring-buffer hot paths.
+func benchEngine(b *testing.B, engine string) {
+	b.ReportAllocs()
 	var ticks int64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(RunSpec{
-			Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.1, DenseLoop: dense,
+			Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.1, Engine: engine,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -275,11 +278,17 @@ func benchEngine(b *testing.B, dense bool) {
 }
 
 // BenchmarkRunDense times the reference tick-every-cycle engine.
-func BenchmarkRunDense(b *testing.B) { benchEngine(b, true) }
+func BenchmarkRunDense(b *testing.B) { benchEngine(b, "dense") }
 
 // BenchmarkRunEventDriven times the next-wakeup engine on the same run;
 // the ratio to BenchmarkRunDense is the tick-skipping speedup.
-func BenchmarkRunEventDriven(b *testing.B) { benchEngine(b, false) }
+func BenchmarkRunEventDriven(b *testing.B) { benchEngine(b, "event") }
+
+// BenchmarkRunParallel times the epoch-parallel engine on the same run;
+// the ratio to BenchmarkRunEventDriven is the sharding speedup at the
+// paper's 30-SM machine. Full-occupancy scaling (120 SMs, GOMAXPROCS
+// 1/2/4/8) lives in scripts/bench5.
+func BenchmarkRunParallel(b *testing.B) { benchEngine(b, "parallel") }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (ticks/s) —
 // an engineering metric, not a paper figure.

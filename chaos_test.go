@@ -21,20 +21,19 @@ func chaosSpec(sched string) RunSpec {
 	}
 }
 
+// chaosEngines is every engine the fault-injection suite must cover.
+var chaosEngines = []string{"event", "dense", "parallel"}
+
 // A partition that stops answering (the observable shape of a late
 // NextWakeup contract violation) must trip the liveness watchdog on
-// every scheduler under both engines — never hang, never run to the
+// every scheduler under every engine — never hang, never run to the
 // 50M-cycle default budget.
 func TestChaosLateWakeupTripsWatchdog(t *testing.T) {
 	for _, sched := range Schedulers() {
-		for _, dense := range []bool{false, true} {
-			name := sched + "/event"
-			if dense {
-				name = sched + "/dense"
-			}
-			t.Run(name, func(t *testing.T) {
+		for _, engine := range chaosEngines {
+			t.Run(sched+"/"+engine, func(t *testing.T) {
 				spec := chaosSpec(sched)
-				spec.DenseLoop = dense
+				spec.Engine = engine
 				spec.Chaos = &Faults{
 					WakeTarget: chaos.TargetPartition, WakeIndex: 0, WakeAfter: 200,
 				}
@@ -63,17 +62,17 @@ func TestChaosLateWakeupTripsWatchdog(t *testing.T) {
 // The same fault aimed at an SM: its warps never retire, so after the
 // rest of the machine drains the progress vector flatlines.
 func TestChaosLateSMWakeupTripsWatchdog(t *testing.T) {
-	for _, dense := range []bool{false, true} {
+	for _, engine := range chaosEngines {
 		spec := chaosSpec("wg-w")
-		spec.DenseLoop = dense
+		spec.Engine = engine
 		spec.Chaos = &Faults{WakeTarget: chaos.TargetSM, WakeIndex: 1, WakeAfter: 200}
 		_, err := Run(spec)
 		var stall *StallError
 		if !errors.As(err, &stall) {
-			t.Fatalf("dense=%v: want *StallError, got %v", dense, err)
+			t.Fatalf("engine=%s: want *StallError, got %v", engine, err)
 		}
 		if stall.Kind != StallNoProgress {
-			t.Fatalf("dense=%v: kind = %q", dense, stall.Kind)
+			t.Fatalf("engine=%s: kind = %q", engine, stall.Kind)
 		}
 		// The dump must finger SM 1 as still holding live warps.
 		var sm1Live int
@@ -83,7 +82,7 @@ func TestChaosLateSMWakeupTripsWatchdog(t *testing.T) {
 			}
 		}
 		if sm1Live == 0 {
-			t.Fatalf("dense=%v: dump does not show the comatose SM's stranded warps", dense)
+			t.Fatalf("engine=%s: dump does not show the comatose SM's stranded warps", engine)
 		}
 	}
 }
@@ -91,32 +90,32 @@ func TestChaosLateSMWakeupTripsWatchdog(t *testing.T) {
 // A forced mid-run panic must come back as a *RunError carrying the
 // spec hash, the run phase and the cycle — Run never panics.
 func TestChaosForcedPanicRecovered(t *testing.T) {
-	for _, dense := range []bool{false, true} {
+	for _, engine := range chaosEngines {
 		spec := chaosSpec("gmc")
-		spec.DenseLoop = dense
+		spec.Engine = engine
 		spec.Chaos = &Faults{PanicAtCycle: 500}
 		_, err := Run(spec)
 		if err == nil {
-			t.Fatalf("dense=%v: forced panic vanished", dense)
+			t.Fatalf("engine=%s: forced panic vanished", engine)
 		}
 		var re *RunError
 		if !errors.As(err, &re) {
-			t.Fatalf("dense=%v: want *RunError, got %T: %v", dense, err, err)
+			t.Fatalf("engine=%s: want *RunError, got %T: %v", engine, err, err)
 		}
 		if re.SpecHash != spec.Hash() {
-			t.Fatalf("dense=%v: RunError hash %s != spec hash %s", dense, re.SpecHash, spec.Hash())
+			t.Fatalf("engine=%s: RunError hash %s != spec hash %s", engine, re.SpecHash, spec.Hash())
 		}
 		if re.Phase != "run" {
-			t.Fatalf("dense=%v: phase %q", dense, re.Phase)
+			t.Fatalf("engine=%s: phase %q", engine, re.Phase)
 		}
 		if re.Cycle < 500 {
-			t.Fatalf("dense=%v: cycle %d before the armed tick", dense, re.Cycle)
+			t.Fatalf("engine=%s: cycle %d before the armed tick", engine, re.Cycle)
 		}
 		if re.Stack == "" {
-			t.Fatalf("dense=%v: no stack captured", dense)
+			t.Fatalf("engine=%s: no stack captured", engine)
 		}
 		if !strings.Contains(err.Error(), "panic") {
-			t.Fatalf("dense=%v: error message hides the panic: %v", dense, err)
+			t.Fatalf("engine=%s: error message hides the panic: %v", engine, err)
 		}
 	}
 }
@@ -171,29 +170,34 @@ func TestStopChannelAborts(t *testing.T) {
 // partial Results at the cap are byte-identical across engines (the
 // differential invariant holds for truncated runs too).
 func TestMaxCyclesStallError(t *testing.T) {
-	run := func(dense bool) (Results, *StallError) {
+	run := func(engine string) (Results, *StallError) {
 		spec := RunSpec{
 			Benchmark: "bfs", Scheduler: "wg-w",
 			Scale: 0.05, SMs: 4, WarpsPerSM: 8,
-			MaxCycles: 500, DenseLoop: dense,
+			MaxCycles: 500, Engine: engine,
 		}
 		res, err := Run(spec)
 		var stall *StallError
 		if !errors.As(err, &stall) {
-			t.Fatalf("dense=%v: want *StallError, got %v", dense, err)
+			t.Fatalf("engine=%s: want *StallError, got %v", engine, err)
 		}
 		return res, stall
 	}
-	eventRes, eventStall := run(false)
-	denseRes, denseStall := run(true)
-	if eventStall.Kind != StallCycleBudget || denseStall.Kind != StallCycleBudget {
-		t.Fatalf("kinds = %q / %q", eventStall.Kind, denseStall.Kind)
+	eventRes, eventStall := run("event")
+	if eventStall.Kind != StallCycleBudget {
+		t.Fatalf("kind = %q", eventStall.Kind)
 	}
 	if eventStall.Dump.LiveWarps() == 0 {
 		t.Fatal("no live warps in the cycle-budget dump")
 	}
-	if !reflect.DeepEqual(eventRes, denseRes) {
-		t.Fatalf("truncated results diverge\ndense: %+v\nevent: %+v", denseRes, eventRes)
+	for _, engine := range chaosEngines[1:] {
+		res, stall := run(engine)
+		if stall.Kind != StallCycleBudget {
+			t.Fatalf("engine=%s: kind = %q", engine, stall.Kind)
+		}
+		if !reflect.DeepEqual(eventRes, res) {
+			t.Fatalf("truncated results diverge\nevent: %+v\n%s: %+v", eventRes, engine, res)
+		}
 	}
 }
 

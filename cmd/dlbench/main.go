@@ -126,6 +126,8 @@ type runner struct {
 	seed       int64
 	seeds      int // >1: average kernel times over this many seeds
 	ablation   string
+	engine     string
+	shards     int
 	s          *session
 }
 
@@ -136,7 +138,7 @@ func (r *runner) spec(bench, sched string, perfect, zerodiv bool, alpha float64)
 		Benchmark: bench, Scheduler: sched, Scale: r.scale,
 		SMs: r.sms, WarpsPerSM: r.warps, Seed: r.seed,
 		PerfectCoalescing: perfect, ZeroDivergence: zerodiv, SBWASAlpha: alpha,
-		Ablation: r.ablation,
+		Ablation: r.ablation, Engine: r.engine, Shards: r.shards,
 	}
 }
 
@@ -202,6 +204,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	seeds := flag.Int("seeds", 1, "average kernel times over this many seeds")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — results are engine-independent, so cache entries are shared")
+	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
 	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
 	jsonOut := flag.String("json", "", "also write every run as sweep JSON to this file (\"-\" = stdout)")
 	pf := prof.Register()
@@ -236,7 +240,8 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	s := newSession(ctx, eng)
-	r := &runner{scale: *scale, sms: *sms, warps: *warps, seed: *seed, seeds: *seeds, s: s}
+	r := &runner{scale: *scale, sms: *sms, warps: *warps, seed: *seed, seeds: *seeds,
+		engine: *engine, shards: *shards, s: s}
 
 	exps := map[string]func(*runner){
 		"table1": table1, "table2": table2, "table3": table3,
@@ -794,7 +799,7 @@ func ablation(r *runner) {
 	benches := []string{"bfs", "kmeans", "spmv", "sssp"}
 	for _, ab := range []string{"count-score", "no-orphan", "no-credits"} {
 		sub := &runner{scale: r.scale, sms: r.sms, warps: r.warps, seed: r.seed,
-			ablation: ab, s: r.s}
+			ablation: ab, engine: r.engine, shards: r.shards, s: r.s}
 		var slow []float64
 		fmt.Printf("%-14s", ab)
 		for _, b := range benches {

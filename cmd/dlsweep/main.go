@@ -139,6 +139,8 @@ func main() {
 	ablations := flag.String("ablation", "", "comma list of ablations (count-score,no-orphan,no-credits)")
 	warpscheds := flag.String("warpsched", "", "comma list of SM warp schedulers (gto,lrr)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — results are engine-independent, so cache entries are shared")
+	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
 	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); overruns fail like any other spec")
 	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
 	format := flag.String("format", "json", "output format: json or csv")
@@ -240,6 +242,10 @@ func main() {
 		nw = runtime.GOMAXPROCS(0)
 	}
 	specs := g.Enumerate()
+	for i := range specs {
+		specs[i].Engine = *engine
+		specs[i].Shards = *shards
+	}
 	fmt.Fprintf(os.Stderr, "dlsweep: %d specs on %d workers (cache: %s)\n",
 		len(specs), nw, cache.Dir())
 

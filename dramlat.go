@@ -81,6 +81,17 @@ type RunSpec struct {
 	// runs share a result-cache entry.
 	DenseLoop bool `json:"-"`
 
+	// Engine selects the simulation engine explicitly: "" / "event"
+	// (default), "dense", or "parallel" (the epoch-parallel engine, which
+	// shards SMs and memory partitions across cores). Every engine
+	// produces byte-identical Results, so the field is hash-excluded like
+	// DenseLoop and all engines share a result-cache entry.
+	Engine string `json:"-"`
+
+	// Shards bounds the parallel engine's worker count; 0 picks
+	// min(GOMAXPROCS, SMs). Results never depend on it; hash-excluded.
+	Shards int `json:"-"`
+
 	// MaxCycles caps the simulated cycles when non-zero (default
 	// gpu.DefaultConfig().MaxTicks). A run still live at the cap returns
 	// partial Results with a *StallError (kind "cycle-budget"). Excluded
@@ -144,6 +155,8 @@ func (s RunSpec) Canonical() RunSpec {
 	// zero them all so such runs compare (and cache) equal.
 	s.Telemetry = telemetry.Options{}
 	s.DenseLoop = false
+	s.Engine = ""
+	s.Shards = 0
 	s.MaxCycles = 0
 	s.StallCycles = 0
 	s.Deadline = time.Time{}
@@ -285,6 +298,8 @@ func Config(spec RunSpec) gpu.Config {
 	}
 	cfg.Telemetry = spec.Telemetry
 	cfg.DenseLoop = spec.DenseLoop
+	cfg.Engine = spec.Engine
+	cfg.Shards = spec.Shards
 	if spec.MaxCycles > 0 {
 		cfg.MaxTicks = spec.MaxCycles
 	}

@@ -17,6 +17,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"dramlat/internal/coordnet"
 	"dramlat/internal/gddr5"
 	"dramlat/internal/memctrl"
@@ -54,6 +56,20 @@ type group struct {
 	// blocker and the group takes absolute priority.
 	channels   int
 	remoteMask uint32
+
+	// Score cache: the raw (pre-WG-M-boost) completion-time score and
+	// row-hit count last computed for this group. It stays valid while
+	// cacheValid is set and every bank in cacheMask still has the
+	// SchedVersion recorded in cacheVers. The group's own pending-set
+	// changes (enqueue, dispatch) clear cacheValid directly; changes to
+	// bank state from other groups' traffic are caught by the version
+	// comparison. The WG-M boost depends on now, so it is applied after
+	// the cache on every read.
+	cacheValid bool
+	cacheMask  uint32
+	cacheScore int
+	cacheHits  int
+	cacheVers  [32]uint32
 }
 
 // soleBlocker reports that every other controller already serviced its
@@ -128,6 +144,11 @@ type WarpScheduler struct {
 	// NoOrphanControl is an ablation: disable the orphan-control rule of
 	// Section IV-D (row misses may strand 1-2 row hits behind them).
 	NoOrphanControl bool
+	// NoScoreCache disables the incremental warp-group score cache and
+	// recomputes every score from live bank state. The cache is exact, so
+	// this knob only exists for the differential property test and for
+	// benchmarking the cache itself.
+	NoScoreCache bool
 
 	// Probe receives MERB streak begin/end trace events; nil disables
 	// tracing (one branch per event site).
@@ -145,8 +166,9 @@ type WarpScheduler struct {
 	bankPending []int // pending (undispatched) requests per bank
 
 	// fillerIdx indexes pending requests by (bank,row) for the WG-Bw
-	// row-hit filler search. Entries go stale when requests dispatch via
-	// the group path; stale entries are skipped via req.Dispatched.
+	// row-hit filler search. dispatch removes entries eagerly (request
+	// memory is pooled, so stale pointers must not linger); the
+	// req.Dispatched skip in liveFillers is a defensive second line.
 	fillerIdx map[[2]int][]*memreq.Request
 
 	Stats Stats
@@ -218,11 +240,14 @@ func (w *WarpScheduler) Pending() int { return w.count }
 
 // groupKey folds ungrouped reads (which have no warp identity) into
 // single-request pseudo-groups so they flow through the same machinery.
+// Request IDs are per-creator streams (stream<<40 | serial), so the key
+// carries the stream in Warp and the serial in Load: truncating the ID to
+// 32 bits alone would collide across streams.
 func groupKey(r *memreq.Request) (memreq.GroupID, bool) {
 	if r.Group.Valid() {
 		return r.Group, false
 	}
-	return memreq.GroupID{SM: 0xffff, Warp: 0xffff, Load: uint32(r.ID)}, true
+	return memreq.GroupID{SM: 0xffff, Warp: uint16(r.ID >> 40), Load: uint32(r.ID)}, true
 }
 
 // OnEnqueue implements memctrl.Scheduler.
@@ -235,6 +260,7 @@ func (w *WarpScheduler) OnEnqueue(r *memreq.Request, now int64) {
 		w.order = append(w.order, g)
 	}
 	g.pending = append(g.pending, r)
+	g.cacheValid = false
 	if int(r.GroupChannels) > g.channels {
 		g.channels = int(r.GroupChannels)
 	}
@@ -351,20 +377,58 @@ func (w *WarpScheduler) scoreAndHits(g *group, now int64) (score, hits int) {
 		}
 		return s, 0
 	}
+	if w.NoScoreCache || !w.scoreCacheValid(g) {
+		w.refreshScoreCache(g)
+	}
+	max := g.cacheScore
+	if g.boosted(now) {
+		max -= g.scoreAdj
+	}
+	if max < 0 {
+		max = 0
+	}
+	return max, g.cacheHits
+}
+
+// scoreCacheValid reports whether g's cached raw score still reflects the
+// live bank state: the group's pending set is unchanged and every touched
+// bank's SchedVersion matches the snapshot.
+func (w *WarpScheduler) scoreCacheValid(g *group) bool {
+	if !g.cacheValid {
+		return false
+	}
+	ch := w.ctl.Chan
+	for m := g.cacheMask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros32(m)
+		if ch.SchedVersion(b) != g.cacheVers[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshScoreCache recomputes g's raw (pre-boost) completion-time score
+// and row-hit count from live bank state (the brute-force walk the
+// scheduler previously did on every comparison) and snapshots the touched
+// banks' versions so the result can be reused until something changes.
+func (w *WarpScheduler) refreshScoreCache(g *group) {
 	type acc struct {
 		row   int
 		total int
 	}
 	var banks [32]acc // NumBanks <= 32 in all configurations
-	var touched [32]bool
+	var touched uint32
+	ch := w.ctl.Chan
+	hits := 0
 	for _, r := range g.pending {
 		if r.Dispatched {
 			continue
 		}
 		b := r.Bank
-		if !touched[b] {
-			banks[b] = acc{row: w.ctl.Chan.SchedRow(b), total: w.ctl.Chan.QueuedScore(b)}
-			touched[b] = true
+		if bit := uint32(1) << uint(b); touched&bit == 0 {
+			banks[b] = acc{row: ch.SchedRow(b), total: ch.QueuedScore(b)}
+			g.cacheVers[b] = ch.SchedVersion(b)
+			touched |= bit
 		}
 		if banks[b].row == r.Row {
 			banks[b].total += scoreHit
@@ -375,18 +439,15 @@ func (w *WarpScheduler) scoreAndHits(g *group, now int64) (score, hits int) {
 		}
 	}
 	max := 0
-	for b := range banks {
-		if touched[b] && banks[b].total > max {
-			max = banks[b].total
+	for m := touched; m != 0; m &= m - 1 {
+		if t := banks[bits.TrailingZeros32(m)].total; t > max {
+			max = t
 		}
 	}
-	if g.boosted(now) {
-		max -= g.scoreAdj
-	}
-	if max < 0 {
-		max = 0
-	}
-	return max, hits
+	g.cacheMask = touched
+	g.cacheScore = max
+	g.cacheHits = hits
+	g.cacheValid = true
 }
 
 // selectGroup picks the next warp-group to service: the completed group
@@ -645,10 +706,29 @@ func (w *WarpScheduler) dispatch(r *memreq.Request) *memreq.Request {
 			break
 		}
 	}
+	g.cacheValid = false
 	g.dispatched++
 	r.Dispatched = true
 	w.count--
 	w.bankPending[r.Bank]--
+	// Drop r from the (bank,row) filler index eagerly: the request's
+	// memory is recycled once it completes, and a recycled request with a
+	// fresh Dispatched=false flag would make a lingering stale pointer
+	// look live to liveFillers.
+	fk := [2]int{r.Bank, r.Row}
+	if list := w.fillerIdx[fk]; len(list) > 0 {
+		live := list[:0]
+		for _, p := range list {
+			if p != r {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			delete(w.fillerIdx, fk)
+		} else {
+			w.fillerIdx[fk] = live
+		}
+	}
 	if len(g.pending) == 0 && g.complete {
 		w.retire(g)
 		if w.current == g {

@@ -95,6 +95,13 @@ type bank struct {
 	queuedTxns   int
 	queuedScore  int // WG score units (1 per projected hit, 3 per miss)
 	hitsSinceAct int // 64B bursts scheduled since the last scheduled ACT
+
+	// schedVer increments whenever any scheduler-visible bank state above
+	// (schedRow, queuedScore, hitsSinceAct) changes: on Enqueue, on a
+	// transaction's last burst retiring, and on refresh. Warp-group score
+	// caches (internal/core) compare snapshots of it to decide whether a
+	// cached score is still valid.
+	schedVer uint32
 }
 
 // Stats aggregates channel activity counters.
@@ -253,6 +260,7 @@ func (c *Channel) maybeRefresh(now int64) bool {
 		c.banks[i].schedRow = -1
 		c.banks[i].actOK = now + c.trfc
 		c.banks[i].hitsSinceAct = 0
+		c.banks[i].schedVer++
 	}
 	c.Stats.Refreshes++
 	c.refreshDue = false
@@ -279,6 +287,12 @@ func (c *Channel) QueuedScore(b int) int { return c.banks[b].queuedScore }
 // HitsSinceAct returns the number of 64B row-hit bursts scheduled to bank b
 // since its last scheduled activate: the MERB counter of Section IV-D.
 func (c *Channel) HitsSinceAct(b int) int { return c.banks[b].hitsSinceAct }
+
+// SchedVersion returns a counter that changes whenever bank b's
+// scheduler-visible state (SchedRow, QueuedScore, HitsSinceAct) changes.
+// Score caches snapshot it to detect staleness without subscribing to
+// individual mutations.
+func (c *Channel) SchedVersion(b int) uint32 { return c.banks[b].schedVer }
 
 // BanksWithQueuedWork counts banks with at least one queued transaction.
 func (c *Channel) BanksWithQueuedWork() int {
@@ -352,6 +366,7 @@ func (c *Channel) Enqueue(r *memreq.Request) *Transaction {
 	const casPerTxn = 2 // 128B request = two 64B bursts
 	txn := &Transaction{Req: r, CASTotal: casPerTxn}
 
+	b.schedVer++
 	if b.schedRow == r.Row {
 		txn.Hit = true
 		b.queuedScore++
@@ -585,6 +600,7 @@ func (c *Channel) finishBurst(cmd *Command, dataEnd int64) {
 			score = 3
 		}
 		c.banks[cmd.Bank].queuedScore -= score
+		c.banks[cmd.Bank].schedVer++
 		if c.OnComplete != nil {
 			c.OnComplete(txn, dataEnd)
 		}

@@ -109,6 +109,18 @@ type Config struct {
 	// an escape hatch and as the differential-testing oracle.
 	DenseLoop bool
 
+	// Engine selects the simulation engine explicitly: "" or
+	// EngineEvent (event-driven next-wakeup, the default), EngineDense
+	// (the dense reference loop, same as DenseLoop), or EngineParallel
+	// (the epoch-parallel engine: SMs and memory partitions sharded
+	// across worker goroutines, byte-identical Results to the serial
+	// engines — see DESIGN.md "Parallel engine").
+	Engine string
+
+	// Shards bounds the parallel engine's worker count; 0 picks
+	// min(GOMAXPROCS, components). Results never depend on it.
+	Shards int
+
 	// CmdLog, when non-nil, receives one line per issued DRAM command
 	// ("tick chN TYPE bank row") for debugging and external analysis.
 	CmdLog io.Writer
@@ -118,6 +130,22 @@ type Config struct {
 	// branch per instrumentation site (see BenchmarkRunTelemetryOff).
 	Telemetry telemetry.Options
 }
+
+// Engine names for Config.Engine.
+const (
+	// EngineEvent is the default event-driven next-wakeup engine.
+	EngineEvent = "event"
+	// EngineDense is the tick-every-cycle reference loop (the
+	// differential-testing oracle; equivalent to DenseLoop).
+	EngineDense = "dense"
+	// EngineParallel shards SMs and memory partitions across worker
+	// goroutines within each visited tick, byte-identical to the serial
+	// engines.
+	EngineParallel = "parallel"
+)
+
+// Engines lists the selectable engine names.
+func Engines() []string { return []string{EngineEvent, EngineDense, EngineParallel} }
 
 // Schedulers lists the supported policy names in evaluation order: the
 // simple baselines, the throughput-optimized GMC, the comparators from
@@ -290,6 +318,23 @@ func (c Config) Validate() error {
 	}
 	if c.MaxTicks <= 0 {
 		v.Addf("MaxTicks", c.MaxTicks, "must be positive")
+	}
+	switch c.Engine {
+	case "", EngineEvent, EngineDense:
+	case EngineParallel:
+		if c.CmdLog != nil {
+			// Partitions write the command log as they tick; running them
+			// concurrently would interleave lines nondeterministically.
+			v.Addf("CmdLog", "non-nil", "command logging requires a serial engine (use event or dense)")
+		}
+		if c.DenseLoop {
+			v.Addf("DenseLoop", c.DenseLoop, "conflicts with Engine=parallel")
+		}
+	default:
+		v.Addf("Engine", c.Engine, "unknown engine (want event, dense or parallel)")
+	}
+	if c.Shards < 0 {
+		v.Addf("Shards", c.Shards, "must be non-negative")
 	}
 	return v.Err()
 }

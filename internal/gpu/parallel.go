@@ -1,0 +1,458 @@
+package gpu
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"dramlat/internal/guard"
+	"dramlat/internal/guard/chaos"
+	"dramlat/internal/telemetry"
+)
+
+// This file is the epoch-parallel engine (Cfg.Engine == EngineParallel).
+//
+// runParallel mirrors runEvent statement for statement — same gates, same
+// wakeup folds, same jump computation, same truncation tails — but executes
+// each visited tick in two parallel phases:
+//
+//	SM phase:        the SMs are split into contiguous shards, one per
+//	                 worker. Within a tick, SM ticks only interact through
+//	                 the crossbar, whose SM-side operations (Inject,
+//	                 PopResponse) are single-writer per (sm,part) FIFO with
+//	                 commutative atomics for the shared bookkeeping.
+//	barrier:         the coordinator absorbs each SM's staged collector and
+//	                 tracer children in ascending SM order (reproducing the
+//	                 serial call sequence), folds the per-shard wakeup
+//	                 minima, and restores the crossbar's global minima.
+//	partition phase: the memory partitions are split the same way (except
+//	                 under the atlas scheduler, whose shared quantum state
+//	                 forces one sequential domain). Partition ticks only
+//	                 interact through the crossbar response path and the
+//	                 coordination network, which stages broadcasts per
+//	                 source.
+//	barrier:         the coordinator flushes staged coordination messages
+//	                 in ascending source order, absorbs the partitions'
+//	                 staged children in ascending channel order, restores
+//	                 the crossbar minima and recomputes the partition base.
+//
+// Because every visited tick executes exactly the serial per-tick code with
+// the same component order effects on every order-sensitive shared object,
+// the engine is byte-identical to runEvent (and hence runDense) by the same
+// induction over visited ticks — see TestParallelMatchesEvent.
+
+// shardRange is a contiguous inclusive component index range; empty when
+// last < first.
+type shardRange struct{ first, last int }
+
+// splitRange slices [0,n) into `shards` contiguous near-equal ranges.
+func splitRange(n, shards int) []shardRange {
+	out := make([]shardRange, shards)
+	for w := 0; w < shards; w++ {
+		out[w] = shardRange{w * n / shards, (w+1)*n/shards - 1}
+	}
+	return out
+}
+
+// poolSpins bounds the busy-wait at the phase barriers before yielding the
+// OS thread. Phases are microseconds long, so spinning briefly beats a
+// futex sleep; the Gosched fallback keeps an oversubscribed machine live.
+const poolSpins = 2000
+
+// phasePool is the engine's worker pool. The coordinator doubles as worker
+// 0; workers 1..n-1 park in a spin loop on the epoch counter. One epoch =
+// one phase: the coordinator publishes the task, bumps seq (the atomic op
+// orders the publish), runs its own shard, then waits for the done count.
+// Worker panics are caught into per-worker slots and re-raised by the
+// coordinator in worker order, so a chaos-injected panic surfaces
+// deterministically no matter which goroutine hit it.
+type phasePool struct {
+	n       int
+	task    func(w int)
+	seq     int64
+	done    int64
+	stopped int64
+	panics  []any
+}
+
+func newPhasePool(n int) *phasePool {
+	p := &phasePool{n: n, panics: make([]any, n)}
+	for w := 1; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *phasePool) worker(w int) {
+	last := int64(0)
+	for {
+		spins := 0
+		for atomic.LoadInt64(&p.seq) == last {
+			if spins++; spins > poolSpins {
+				runtime.Gosched()
+			}
+		}
+		last = atomic.LoadInt64(&p.seq)
+		if atomic.LoadInt64(&p.stopped) != 0 {
+			return
+		}
+		p.invoke(w)
+		atomic.AddInt64(&p.done, 1)
+	}
+}
+
+// invoke runs the published task for worker w, catching a panic into the
+// worker's slot so the barrier still completes.
+func (p *phasePool) invoke(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[w] = r
+		}
+	}()
+	p.task(w)
+}
+
+// run executes task on every worker and returns after all have finished.
+// With one worker it degenerates to a plain call (panics propagate
+// directly, exactly like the serial engines).
+func (p *phasePool) run(task func(int)) {
+	if p.n == 1 {
+		task(0)
+		return
+	}
+	p.task = task
+	atomic.AddInt64(&p.seq, 1)
+	p.invoke(0)
+	spins := 0
+	for atomic.LoadInt64(&p.done) != int64(p.n-1) {
+		if spins++; spins > poolSpins {
+			runtime.Gosched()
+		}
+	}
+	atomic.StoreInt64(&p.done, 0)
+	for w := 0; w < p.n; w++ {
+		if r := p.panics[w]; r != nil {
+			p.panics[w] = nil
+			panic(r)
+		}
+	}
+}
+
+// close releases the parked workers; the pool is unusable afterwards.
+func (p *phasePool) close() {
+	if p.n == 1 {
+		return
+	}
+	atomic.StoreInt64(&p.stopped, 1)
+	atomic.AddInt64(&p.seq, 1)
+}
+
+// parRun is the per-run state of the parallel engine. The per-component
+// slices (smWake, smLast, smDone, pWake) are written only by the worker
+// owning that component's shard during a phase and read by the coordinator
+// between phases; the barrier's atomic handshake orders both directions.
+type parRun struct {
+	s    *System
+	n    int
+	pool *phasePool
+
+	smShards   []shardRange
+	partShards []shardRange
+	smRow      []int // per worker: index into s.shards, -1 when empty
+	partRow    []int
+
+	now int64 // the visited tick, published before each phase
+
+	smWake []int64
+	smLast []int64
+	smDone []bool
+	pWake  []int64
+
+	smMin     []int64 // per-worker fold of min smWake over the shard
+	smNewDone []int   // per-worker count of SMs retired this phase
+}
+
+// smPhase is the per-worker SM phase body: the exact SM block of runEvent
+// restricted to the worker's shard.
+func (r *parRun) smPhase(w int) {
+	s := r.s
+	now := r.now
+	f := s.Cfg.Faults
+	sh := r.smShards[w]
+	min := int64(1) << 62
+	newDone := 0
+	var ticked int64
+	for i := sh.first; i <= sh.last; i++ {
+		c := s.sms[i]
+		eff := r.smWake[i]
+		if rw := s.x.RespWake(i); rw < eff {
+			eff = rw
+		}
+		if eff <= now && !f.Asleep(chaos.TargetSM, i, now) {
+			if gap := now - 1 - r.smLast[i]; gap > 0 {
+				c.CatchUp(gap)
+			}
+			ticked++
+			c.Tick(now, s.x.PopResponse(i, now))
+			r.smLast[i] = now
+			r.smWake[i] = c.NextWakeup(now)
+			if !r.smDone[i] && c.Done() {
+				r.smDone[i] = true
+				newDone++
+			}
+		}
+		if r.smWake[i] < min {
+			min = r.smWake[i]
+		}
+	}
+	r.smMin[w] = min
+	r.smNewDone[w] = newDone
+	if row := r.smRow[w]; row >= 0 {
+		s.shards[row].LastTick = now
+		s.shards[row].Ticked += ticked
+	}
+}
+
+// partPhase is the per-worker partition phase body: the exact partition
+// block of runEvent restricted to the worker's channel range.
+func (r *parRun) partPhase(w int) {
+	s := r.s
+	now := r.now
+	f := s.Cfg.Faults
+	sh := r.partShards[w]
+	var ticked int64
+	for ch := sh.first; ch <= sh.last; ch++ {
+		p := s.parts[ch]
+		eff := r.pWake[ch]
+		if rw := s.x.ReqWake(ch); rw < eff {
+			eff = rw
+		}
+		if s.net != nil {
+			if nd := s.net.NextDue(ch); nd < eff {
+				eff = nd
+			}
+		}
+		if eff > now {
+			continue
+		}
+		if f.Asleep(chaos.TargetPartition, ch, now) {
+			continue
+		}
+		ticked++
+		p.Tick(now)
+		r.pWake[ch] = p.NextWakeup(now)
+	}
+	if row := r.partRow[w]; row >= 0 {
+		s.shards[row].LastTick = now
+		s.shards[row].Ticked += ticked
+	}
+}
+
+// runParallel is the epoch-parallel engine loop. See the file comment for
+// the phase structure and the byte-identity argument.
+func (s *System) runParallel() (Results, error) {
+	nSM := len(s.sms)
+	n := s.Cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		// Workers beyond the physical cores can never run simultaneously;
+		// they only turn the spin barriers into OS scheduler thrash (two
+		// orders of magnitude on a single-core host). An explicit Shards
+		// setting is honored as-is — oversubscription is still correct,
+		// just slow (see TestParallelShardCountInvariance).
+		if c := runtime.NumCPU(); n > c {
+			n = c
+		}
+	}
+	if n > nSM {
+		n = nSM
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	r := &parRun{s: s, n: n}
+	r.smShards = splitRange(nSM, n)
+	if s.atlas != nil {
+		// ATLASState is shared across controllers and mutated on every
+		// controller tick in channel order; one sequential domain keeps
+		// that order serial-identical.
+		r.partShards = make([]shardRange, n)
+		for w := range r.partShards {
+			r.partShards[w] = shardRange{0, -1}
+		}
+		r.partShards[0] = shardRange{0, len(s.parts) - 1}
+	} else {
+		r.partShards = splitRange(len(s.parts), n)
+	}
+	s.shards = s.shards[:0]
+	r.smRow = make([]int, n)
+	r.partRow = make([]int, n)
+	for w := 0; w < n; w++ {
+		r.smRow[w] = -1
+		if sh := r.smShards[w]; sh.last >= sh.first {
+			r.smRow[w] = len(s.shards)
+			s.shards = append(s.shards, guard.ShardState{ID: w, Kind: "sm", First: sh.first, Last: sh.last, LastTick: -1})
+		}
+	}
+	for w := 0; w < n; w++ {
+		r.partRow[w] = -1
+		if sh := r.partShards[w]; sh.last >= sh.first {
+			r.partRow[w] = len(s.shards)
+			s.shards = append(s.shards, guard.ShardState{ID: w, Kind: "part", First: sh.first, Last: sh.last, LastTick: -1})
+		}
+	}
+
+	r.pool = newPhasePool(n)
+	defer r.pool.close()
+
+	doneTick := int64(-1)
+	nextSample := int64(-1)
+	lastSample := int64(-1)
+	var tracer *telemetry.Tracer
+	if s.Tel != nil {
+		tracer = s.Tel.Tracer
+		if s.Tel.Sampler != nil {
+			nextSample = s.Tel.Sampler.Every
+		}
+	}
+	r.smWake = make([]int64, nSM)
+	r.smLast = make([]int64, nSM)
+	r.smDone = make([]bool, nSM)
+	r.pWake = make([]int64, len(s.parts))
+	r.smMin = make([]int64, n)
+	r.smNewDone = make([]int, n)
+	live := 0
+	for i, c := range s.sms {
+		r.smLast[i] = -1
+		if c.Done() {
+			r.smDone[i] = true
+		} else {
+			live++
+		}
+	}
+	const bigTick = int64(1) << 62
+	smBase, partBase := int64(0), int64(0)
+	now := int64(0)
+	wd := s.newWatchdog()
+	f := s.Cfg.Faults
+	var stall *guard.StallError
+	smTask, partTask := r.smPhase, r.partPhase
+	for now < s.Cfg.MaxTicks {
+		s.now = now
+		f.CheckPanic(now)
+		s.Engine.VisitedTicks++
+		if now >= smBase || now >= s.x.MinRespWake() {
+			r.now = now
+			r.pool.run(smTask)
+			smBase = bigTick
+			for w := 0; w < n; w++ {
+				if r.smMin[w] < smBase {
+					smBase = r.smMin[w]
+				}
+				live -= r.smNewDone[w]
+			}
+			for _, c := range s.smCols {
+				s.Col.Absorb(c)
+			}
+			for _, t := range s.smTracers {
+				tracer.Absorb(t)
+			}
+			s.x.RecomputeMins()
+		}
+		if now >= partBase || now >= s.x.MinReqWake() {
+			r.now = now
+			r.pool.run(partTask)
+			if s.net != nil {
+				s.net.Flush()
+			}
+			for _, c := range s.partCols {
+				s.Col.Absorb(c)
+			}
+			for _, t := range s.partTracers {
+				tracer.Absorb(t)
+			}
+			s.x.RecomputeMins()
+			partBase = bigTick
+			for ch := range s.parts {
+				b := r.pWake[ch]
+				if s.net != nil {
+					if nd := s.net.NextDue(ch); nd < b {
+						b = nd
+					}
+				}
+				if b < partBase {
+					partBase = b
+				}
+			}
+		}
+		if now == nextSample {
+			s.catchUpSMs(now, r.smLast)
+			s.sample(now)
+			lastSample = now
+			nextSample = now + s.Tel.Sampler.Every
+		}
+		if live == 0 {
+			doneTick = now
+			break
+		}
+		if now >= wd.next {
+			if stall = wd.check(now); stall != nil {
+				break
+			}
+		}
+		next := s.Cfg.MaxTicks
+		if smBase < next {
+			next = smBase
+		}
+		if rw := s.x.MinRespWake(); rw < next {
+			next = rw
+		}
+		if partBase < next {
+			next = partBase
+		}
+		if rw := s.x.MinReqWake(); rw < next {
+			next = rw
+		}
+		if nextSample >= 0 && nextSample < next {
+			next = nextSample
+		}
+		if wd.next < next {
+			next = wd.next
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+	}
+	if stall != nil {
+		s.catchUpSMs(s.now, r.smLast)
+	} else if doneTick < 0 {
+		s.now = s.Cfg.MaxTicks
+		s.catchUpSMs(s.Cfg.MaxTicks-1, r.smLast)
+	} else {
+		s.now = doneTick
+	}
+	if s.Tel != nil {
+		s.flushTelemetry(lastSample)
+		// The flush emitted span-close events into the staged partition
+		// tracers; drain them in channel order like a phase barrier would.
+		for _, t := range s.partTracers {
+			tracer.Absorb(t)
+		}
+	}
+	for _, sh := range s.shards {
+		if sh.Kind == "sm" {
+			s.Engine.SMTicks += sh.Ticked
+		} else {
+			s.Engine.PartTicks += sh.Ticked
+		}
+	}
+	res := s.results(doneTick)
+	if doneTick < 0 && stall == nil {
+		stall = s.stallError(guard.StallCycleBudget, s.now, s.Cfg.MaxTicks)
+	}
+	if stall != nil {
+		return res, stall
+	}
+	return res, nil
+}

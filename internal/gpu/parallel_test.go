@@ -1,0 +1,107 @@
+package gpu
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitRange(t *testing.T) {
+	for n := 1; n <= 130; n++ {
+		for shards := 1; shards <= 16; shards++ {
+			rs := splitRange(n, shards)
+			if len(rs) != shards {
+				t.Fatalf("n=%d shards=%d: got %d ranges", n, shards, len(rs))
+			}
+			covered := 0
+			next := 0
+			for _, r := range rs {
+				if r.last < r.first {
+					continue // empty shard
+				}
+				if r.first != next {
+					t.Fatalf("n=%d shards=%d: gap before %d (range %+v)", n, shards, next, r)
+				}
+				covered += r.last - r.first + 1
+				next = r.last + 1
+			}
+			if covered != n || next != n {
+				t.Fatalf("n=%d shards=%d: covered %d ranges=%v", n, shards, covered, rs)
+			}
+		}
+	}
+}
+
+// The pool must run the task once per worker per epoch, across epochs.
+func TestPhasePoolRunsEveryWorker(t *testing.T) {
+	const n = 4
+	p := newPhasePool(n)
+	defer p.close()
+	var hits [n]int64
+	task := func(w int) { atomic.AddInt64(&hits[w], 1) }
+	for epoch := 0; epoch < 100; epoch++ {
+		p.run(task)
+	}
+	for w := 0; w < n; w++ {
+		if got := atomic.LoadInt64(&hits[w]); got != 100 {
+			t.Fatalf("worker %d ran %d times, want 100", w, got)
+		}
+	}
+}
+
+// A panic on a non-coordinator worker must surface from run() on the
+// coordinator goroutine — and when several workers panic in the same
+// epoch, the lowest-index one must win deterministically.
+func TestPhasePoolWorkerPanicPropagates(t *testing.T) {
+	p := newPhasePool(4)
+	defer p.close()
+
+	catch := func(task func(int)) (r any) {
+		defer func() { r = recover() }()
+		p.run(task)
+		return nil
+	}
+
+	if r := catch(func(w int) {
+		if w == 2 {
+			panic("boom-2")
+		}
+	}); r != "boom-2" {
+		t.Fatalf("worker panic lost: got %v", r)
+	}
+
+	// Pool must remain usable after a recovered panic.
+	if r := catch(func(w int) {}); r != nil {
+		t.Fatalf("stale panic resurfaced: %v", r)
+	}
+
+	if r := catch(func(w int) {
+		if w == 1 || w == 3 {
+			panic(w)
+		}
+	}); r != 1 {
+		t.Fatalf("multi-panic not resolved to lowest worker: got %v", r)
+	}
+}
+
+// n=1 degenerates to a direct call: panics propagate unwrapped and no
+// goroutines are involved.
+func TestPhasePoolSingleWorker(t *testing.T) {
+	p := newPhasePool(1)
+	defer p.close()
+	ran := false
+	p.run(func(w int) {
+		if w != 0 {
+			t.Fatalf("worker id %d", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	defer func() {
+		if r := recover(); r != "direct" {
+			t.Fatalf("got %v", r)
+		}
+	}()
+	p.run(func(int) { panic("direct") })
+}

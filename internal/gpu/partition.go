@@ -35,6 +35,11 @@ type partition struct {
 	pipeCap int
 	evictQ  []*memreq.Request // dirty write-backs awaiting the write queue
 
+	// pool recycles this partition's request traffic: absorbed writes and
+	// credits feed the next dirty-eviction write-back. Domain-local, so
+	// the parallel engine needs no synchronization around it.
+	pool memreq.Pool
+
 	// didWork records whether the last Tick made observable progress: an
 	// O(1) "probably busy next tick too" signal that lets NextWakeup skip
 	// the controller/channel scans on active streaks (spuriously early at
@@ -81,15 +86,20 @@ func (p *partition) onReadDone(r *memreq.Request, now int64) {
 }
 
 func (p *partition) pushEvict(victim uint64, now int64) {
-	w := &memreq.Request{
-		ID: p.nextID(), Kind: memreq.Write, Addr: victim,
-		Issue: now, Channel: p.id,
-	}
+	w := p.pool.Get()
+	w.ID, w.Kind, w.Addr = p.nextID(), memreq.Write, victim
+	w.Issue, w.Channel = now, p.id
 	// Victim addresses come from this partition, so they decode back to
 	// this channel; only bank/row/col are needed.
 	c := p.mapper.Decode(victim)
 	w.Bank, w.Row, w.Col = c.Bank, c.Row, c.Col
 	p.evictQ = append(p.evictQ, w)
+}
+
+// onWriteDone recycles a drained write-back; only pushEvict-created
+// writes reach the DRAM write path (SM stores are absorbed by the L2).
+func (p *partition) onWriteDone(r *memreq.Request, now int64) {
+	p.pool.Put(r)
 }
 
 // process handles the head of the L2 pipeline. It returns false when the
@@ -99,6 +109,7 @@ func (p *partition) process(r *memreq.Request, now int64) bool {
 		if !p.noCredits {
 			p.ctl.GroupComplete(r.Group, now)
 		}
+		p.pool.Put(r) // credit absorbed; it never reaches DRAM
 		return true
 	}
 	if r.Kind == memreq.Write {
@@ -108,6 +119,7 @@ func (p *partition) process(r *memreq.Request, now int64) bool {
 		if v, dirty, evicted := p.l2.Fill(r.Addr, true); evicted && dirty {
 			p.pushEvict(v, now)
 		}
+		p.pool.Put(r) // store absorbed by the L2
 		return true
 	}
 	// Read.

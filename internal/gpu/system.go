@@ -80,12 +80,24 @@ type System struct {
 	atlas *memctrl.ATLASState
 
 	// Engine holds per-run engine counters (visit/skip rates). They are
-	// deliberately NOT part of Results: the two engines batch work
+	// deliberately NOT part of Results: the engines batch work
 	// differently, and Results must stay byte-identical between them.
 	Engine EngineStats
 
-	reqID uint64
-	now   int64
+	// Parallel-engine staging (Cfg.Engine == EngineParallel): each SM and
+	// each partition records its collector calls and trace events into a
+	// staged child, and the coordinator absorbs the children in component
+	// order at each phase barrier, reproducing the serial call sequence.
+	smCols      []*stats.Collector
+	partCols    []*stats.Collector
+	smTracers   []*telemetry.Tracer
+	partTracers []*telemetry.Tracer
+
+	// shards describes the parallel engine's SM sharding for stall dumps;
+	// nil outside parallel runs.
+	shards []guard.ShardState
+
+	now int64
 }
 
 // EngineStats counts the work the simulation engine actually performed.
@@ -129,6 +141,13 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	case "atlas":
 		s.atlas = memctrl.NewATLASState(cfg.ATLASQuantum)
 	}
+	par := cfg.Engine == EngineParallel
+	if par {
+		s.x.Par = true
+		if s.net != nil {
+			s.net.EnableStaging()
+		}
+	}
 
 	for ch := 0; ch < cfg.NumChannels; ch++ {
 		channel := dram.NewChannel(cfg.Timing, cfg.NumBanks, cfg.BankGroups, cfg.CmdQueueCap)
@@ -138,12 +157,18 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		if cfg.EnableRefresh {
 			channel.SetRefresh(cfg.RefreshTicks, cfg.TRFCTicks)
 		}
+		pCol, pTracer := s.Col, tracer
+		if par {
+			pCol, pTracer = s.Col.Stage(), tracer.Stage()
+			s.partCols = append(s.partCols, pCol)
+			s.partTracers = append(s.partTracers, pTracer)
+		}
 		sched, ws := s.buildScheduler(ch)
 		ctl := memctrl.New(channel, sched, cfg.ReadQ, cfg.WriteQ, cfg.HighWM, cfg.LowWM)
 		ctl.WriteAgeDrain = cfg.WriteAgeDrain
-		ctl.Probe, ctl.ChannelID = tracer, ch
+		ctl.Probe, ctl.ChannelID = pTracer, ch
 		if ws != nil {
-			ws.Probe = tracer
+			ws.Probe = pTracer
 		}
 		if cfg.Scheduler == "sbwas" {
 			ctl.Writes = memctrl.Interleaved
@@ -154,20 +179,27 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 				SizeBytes: cfg.L2SliceSize, LineBytes: cfg.LineBytes,
 				Ways: cfg.L2Ways, MSHRs: cfg.L2MSHRs,
 			}),
-			ctl: ctl, ws: ws, x: s.x, col: s.Col,
+			ctl: ctl, ws: ws, x: s.x, col: pCol,
 			pipeCap: cfg.L2PipeDepth,
 			mapper:  s.Mapper, mshrCap: cfg.L2MSHRs, l2Lat: cfg.L2Lat,
-			nextID:    s.nextID,
+			nextID:    creatorID(uint64(cfg.NumSMs + ch)),
 			noCredits: cfg.Ablation == "no-credits",
 			cmdLog:    cfg.CmdLog,
-			probe:     tracer,
+			probe:     pTracer,
 			tsamp:     sampler,
 		}
 		ctl.OnReadDone = p.onReadDone
+		ctl.OnWriteDone = p.onWriteDone
 		s.parts = append(s.parts, p)
 	}
 
 	for id := 0; id < cfg.NumSMs; id++ {
+		sCol, sTracer := s.Col, tracer
+		if par {
+			sCol, sTracer = s.Col.Stage(), tracer.Stage()
+			s.smCols = append(s.smCols, sCol)
+			s.smTracers = append(s.smTracers, sTracer)
+		}
 		smCfg := sm.Config{
 			ID:     id,
 			Mapper: s.Mapper,
@@ -180,9 +212,9 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 			LRR:               cfg.WarpSched == "lrr",
 			ZeroDivergence:    cfg.ZeroDivergence,
 			PerfectCoalescing: cfg.PerfectCoalescing,
-			NextID:            s.nextID,
-			Collector:         s.Col,
-			Probe:             tracer,
+			NextID:            creatorID(uint64(id)),
+			Collector:         sCol,
+			Probe:             sTracer,
 			ClassifyStalls:    sampler != nil,
 		}
 		smID := id
@@ -194,9 +226,18 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	return s, nil
 }
 
-func (s *System) nextID() uint64 {
-	s.reqID++
-	return s.reqID
+// creatorID returns an ID allocator for one creator domain: SM i uses
+// stream i, partition ch uses stream NumSMs+ch. IDs are
+// (stream+1)<<40 | serial, so streams never collide, every ID is
+// engine-independent (serial and parallel allocate identically), and
+// allocation is domain-local — no shared counter for parallel phases to
+// contend on.
+func creatorID(creator uint64) func() uint64 {
+	var serial uint64
+	return func() uint64 {
+		serial++
+		return (creator+1)<<40 | serial
+	}
 }
 
 func (s *System) buildScheduler(ch int) (memctrl.Scheduler, *core.WarpScheduler) {
@@ -254,12 +295,17 @@ func (s *System) buildScheduler(ch int) (memctrl.Scheduler, *core.WarpScheduler)
 // ticks where its state can change and jumps time to the next wakeup
 // when nothing is runnable, producing results byte-identical to the
 // dense reference loop (Cfg.DenseLoop; see DESIGN.md "Simulation
-// engine" and TestEventDrivenMatchesDense).
+// engine" and TestEventDrivenMatchesDense). Cfg.Engine selects the
+// dense reference loop or the epoch-parallel engine explicitly.
 func (s *System) Run() (Results, error) {
-	if s.Cfg.DenseLoop {
+	switch {
+	case s.Cfg.Engine == EngineParallel:
+		return s.runParallel()
+	case s.Cfg.DenseLoop || s.Cfg.Engine == EngineDense:
 		return s.runDense()
+	default:
+		return s.runEvent()
 	}
-	return s.runEvent()
 }
 
 // Now reports the current simulation cycle (for panic-recovery context).

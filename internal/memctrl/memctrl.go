@@ -103,8 +103,13 @@ type Controller struct {
 	// the watermark forever. Zero disables the age trigger.
 	WriteAgeDrain int64
 
-	readCount   int
+	readCount int
+	// writeQ is the buffered-write FIFO, head-indexed: entries before
+	// wqHead are dispatched (and nil). Popping the oldest write — the
+	// common case in nextWrite — advances wqHead instead of memmoving the
+	// whole queue; the backing array is reset once the queue empties.
 	writeQ      []*memreq.Request
+	wqHead      int
 	draining    bool
 	drainTarget int  // occupancy at which the current drain releases
 	wrAlt       bool // interleaved mode: alternate read/write
@@ -159,7 +164,7 @@ func (ctl *Controller) onComplete(txn *dram.Transaction, now int64) {
 func (ctl *Controller) ReadOccupancy() int { return ctl.readCount }
 
 // WriteOccupancy returns the number of buffered writes.
-func (ctl *Controller) WriteOccupancy() int { return len(ctl.writeQ) }
+func (ctl *Controller) WriteOccupancy() int { return len(ctl.writeQ) - ctl.wqHead }
 
 // Draining reports whether a write drain is in progress.
 func (ctl *Controller) Draining() bool { return ctl.draining }
@@ -167,7 +172,7 @@ func (ctl *Controller) Draining() bool { return ctl.draining }
 // DrainImminent reports whether the write queue occupancy is within eight
 // entries of the high water mark — the WG-W trigger (Section IV-E).
 func (ctl *Controller) DrainImminent() bool {
-	return ctl.Writes == DrainBatch && len(ctl.writeQ) >= ctl.HighWM-8
+	return ctl.Writes == DrainBatch && ctl.WriteOccupancy() >= ctl.HighWM-8
 }
 
 // AcceptRead offers a read request to the controller. It returns false
@@ -204,7 +209,7 @@ func (ctl *Controller) AcceptRead(r *memreq.Request, now int64) bool {
 // AcceptWrite offers a write request to the controller. It returns false
 // when the write queue is full.
 func (ctl *Controller) AcceptWrite(r *memreq.Request, now int64) bool {
-	if len(ctl.writeQ) >= ctl.WriteCap {
+	if ctl.WriteOccupancy() >= ctl.WriteCap {
 		ctl.Stats.WriteQFullRejects++
 		return false
 	}
@@ -212,7 +217,7 @@ func (ctl *Controller) AcceptWrite(r *memreq.Request, now int64) bool {
 	ctl.writeQ = append(ctl.writeQ, r)
 	ctl.Stats.WritesAccepted++
 	if ctl.Probe != nil {
-		ctl.Probe.EnqueueWrite(now, ctl.ChannelID, r, len(ctl.writeQ))
+		ctl.Probe.EnqueueWrite(now, ctl.ChannelID, r, ctl.WriteOccupancy())
 	}
 	return true
 }
@@ -232,10 +237,14 @@ func (ctl *Controller) GroupComplete(g memreq.GroupID, now int64) {
 }
 
 // nextWrite picks the next write to dispatch: the oldest projected row hit
-// if any, else the oldest write whose bank has command-queue space.
+// if any, else the oldest write whose bank has command-queue space. The
+// scan stops at the first projected hit, and removing the queue head — the
+// overwhelmingly common pick during a drain — is a head-index bump rather
+// than a memmove of the whole queue.
 func (ctl *Controller) nextWrite() *memreq.Request {
 	hit, any := -1, -1
-	for i, w := range ctl.writeQ {
+	for i := ctl.wqHead; i < len(ctl.writeQ); i++ {
+		w := ctl.writeQ[i]
 		if !ctl.Chan.CanAccept(w.Bank) {
 			continue
 		}
@@ -255,7 +264,18 @@ func (ctl *Controller) nextWrite() *memreq.Request {
 		return nil
 	}
 	w := ctl.writeQ[idx]
-	ctl.writeQ = append(ctl.writeQ[:idx], ctl.writeQ[idx+1:]...)
+	if idx == ctl.wqHead {
+		ctl.writeQ[idx] = nil
+		ctl.wqHead++
+	} else {
+		copy(ctl.writeQ[idx:], ctl.writeQ[idx+1:])
+		ctl.writeQ[len(ctl.writeQ)-1] = nil
+		ctl.writeQ = ctl.writeQ[:len(ctl.writeQ)-1]
+	}
+	if ctl.wqHead == len(ctl.writeQ) {
+		ctl.writeQ = ctl.writeQ[:0]
+		ctl.wqHead = 0
+	}
 	return w
 }
 
@@ -282,7 +302,7 @@ func (ctl *Controller) dispatchRead(now int64) bool {
 func (ctl *Controller) dispatchWrite(w *memreq.Request, now int64) {
 	ctl.Chan.Enqueue(w)
 	if ctl.Probe != nil {
-		ctl.Probe.DequeueWrite(now, ctl.ChannelID, w, len(ctl.writeQ))
+		ctl.Probe.DequeueWrite(now, ctl.ChannelID, w, ctl.WriteOccupancy())
 	}
 }
 
@@ -294,10 +314,11 @@ func (ctl *Controller) Tick(now int64) *dram.Command {
 	switch ctl.Writes {
 	case DrainBatch:
 		if !ctl.draining {
-			aged := ctl.WriteAgeDrain > 0 && len(ctl.writeQ) > 0 &&
-				now-ctl.writeQ[0].Arrive > ctl.WriteAgeDrain
-			idle := len(ctl.writeQ) > 0 && ctl.readCount == 0 && ctl.Chan.Idle()
-			if len(ctl.writeQ) >= ctl.HighWM || aged || idle {
+			occ := ctl.WriteOccupancy()
+			aged := ctl.WriteAgeDrain > 0 && occ > 0 &&
+				now-ctl.writeQ[ctl.wqHead].Arrive > ctl.WriteAgeDrain
+			idle := occ > 0 && ctl.readCount == 0 && ctl.Chan.Idle()
+			if occ >= ctl.HighWM || aged || idle {
 				ctl.draining = true
 				// Watermark drains stop at the low watermark;
 				// age/idle drains flush the queue so stale writes
@@ -308,16 +329,16 @@ func (ctl *Controller) Tick(now int64) *dram.Command {
 				}
 				ctl.Stats.DrainsStarted++
 				if ctl.Probe != nil {
-					ctl.Probe.DrainBegin(now, ctl.ChannelID, len(ctl.writeQ))
+					ctl.Probe.DrainBegin(now, ctl.ChannelID, occ)
 				}
 				if obs, ok := ctl.Sched.(DrainObserver); ok {
 					obs.OnDrainStart(now)
 				}
 			}
-		} else if len(ctl.writeQ) <= ctl.drainTarget {
+		} else if ctl.WriteOccupancy() <= ctl.drainTarget {
 			ctl.draining = false
 			if ctl.Probe != nil {
-				ctl.Probe.DrainEnd(now, ctl.ChannelID, len(ctl.writeQ))
+				ctl.Probe.DrainEnd(now, ctl.ChannelID, ctl.WriteOccupancy())
 			}
 		}
 		if ctl.draining {
@@ -333,9 +354,9 @@ func (ctl *Controller) Tick(now int64) *dram.Command {
 		// VI-C1): once a handful of writes are buffered they alternate
 		// with reads, exposing the bus-turnaround cost that the
 		// batch-drain policy avoids.
-		tryWrite := ctl.wrAlt && len(ctl.writeQ) >= 4
-		if len(ctl.writeQ) >= ctl.WriteCap-1 ||
-			(len(ctl.writeQ) > 0 && ctl.readCount == 0) {
+		occ := ctl.WriteOccupancy()
+		tryWrite := ctl.wrAlt && occ >= 4
+		if occ >= ctl.WriteCap-1 || (occ > 0 && ctl.readCount == 0) {
 			tryWrite = true
 		}
 		if tryWrite {
@@ -367,17 +388,17 @@ func (ctl *Controller) NextWakeup(now int64) int64 {
 	if ctl.draining {
 		return now + 1
 	}
-	if ctl.Writes == Interleaved && (ctl.readCount > 0 || len(ctl.writeQ) > 0) {
+	if ctl.Writes == Interleaved && (ctl.readCount > 0 || ctl.WriteOccupancy() > 0) {
 		// Interleaved mode arbitrates reads vs writes every cycle.
 		return now + 1
 	}
 	w := ctl.Chan.NextWakeup(now)
-	if len(ctl.writeQ) > 0 {
+	if ctl.WriteOccupancy() > 0 {
 		if ctl.readCount == 0 && ctl.Chan.Idle() {
 			return now + 1 // the idle-drain trigger fires on the next tick
 		}
 		if ctl.WriteAgeDrain > 0 {
-			if age := ctl.writeQ[0].Arrive + ctl.WriteAgeDrain + 1; age < w {
+			if age := ctl.writeQ[ctl.wqHead].Arrive + ctl.WriteAgeDrain + 1; age < w {
 				w = age
 			}
 		}
@@ -393,13 +414,13 @@ func (ctl *Controller) NextWakeup(now int64) int64 {
 
 // Idle reports whether the controller holds no work at all.
 func (ctl *Controller) Idle() bool {
-	return ctl.readCount == 0 && len(ctl.writeQ) == 0 && ctl.Chan.Idle()
+	return ctl.readCount == 0 && ctl.WriteOccupancy() == 0 && ctl.Chan.Idle()
 }
 
 // FlushTelemetry closes any trace span still open at end of run (a drain
 // in progress when the last warp retired), so begin/end pairs balance.
 func (ctl *Controller) FlushTelemetry(now int64) {
 	if ctl.Probe != nil && ctl.draining {
-		ctl.Probe.DrainEnd(now, ctl.ChannelID, len(ctl.writeQ))
+		ctl.Probe.DrainEnd(now, ctl.ChannelID, ctl.WriteOccupancy())
 	}
 }

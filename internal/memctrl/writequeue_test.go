@@ -1,0 +1,111 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramlat/internal/memreq"
+)
+
+// nextWrite selection contract: the oldest projected row hit wins over an
+// even older non-hit; with no hit in the queue, plain FIFO order applies.
+func TestNextWriteOldestHitWins(t *testing.T) {
+	ctl := newCtl(NewFRFCFS())
+	// Open row 7 in bank 0 via a read so ProjectHit(0, 7) holds.
+	ctl.AcceptRead(rd(0, 7, 0, memreq.GroupID{}), 0)
+	now := runUntilIdle(t, ctl, 0, 10000)
+	if !ctl.Chan.ProjectHit(0, 7) {
+		t.Fatal("setup: row 7 not projected open in bank 0")
+	}
+
+	older := wr(0, 3, 0)    // non-hit, arrives first
+	hit := wr(0, 7, 4)      // projected hit, arrives later
+	hit2 := wr(0, 7, 8)     // second hit, younger than hit
+	younger := wr(0, 4, 12) // non-hit, youngest
+	for i, w := range []*memreq.Request{older, hit, hit2, younger} {
+		if !ctl.AcceptWrite(w, now+int64(i)) {
+			t.Fatalf("write %d rejected", i)
+		}
+	}
+	if got := ctl.nextWrite(); got != hit {
+		t.Fatalf("nextWrite returned %v, want the oldest projected hit %v", got.ID, hit.ID)
+	}
+	if got := ctl.nextWrite(); got != hit2 {
+		t.Fatalf("nextWrite returned %v, want the next projected hit %v", got.ID, hit2.ID)
+	}
+	// No hits left: FIFO among the acceptable remainder.
+	if got := ctl.nextWrite(); got != older {
+		t.Fatalf("nextWrite returned %v, want FIFO-oldest %v", got.ID, older.ID)
+	}
+	if got := ctl.nextWrite(); got != younger {
+		t.Fatalf("nextWrite returned %v, want %v", got.ID, younger.ID)
+	}
+	if occ := ctl.WriteOccupancy(); occ != 0 {
+		t.Fatalf("occupancy %d after draining", occ)
+	}
+	if got := ctl.nextWrite(); got != nil {
+		t.Fatalf("empty queue returned %v", got.ID)
+	}
+}
+
+// Property: the head-indexed write queue (wqHead + mid-delete) must be
+// observationally identical to a plain slice queue under random
+// accept/pop interleavings — same selections, same occupancy, and the
+// compaction invariant (head == len resets both) never drifts.
+func TestWriteQueueHeadIndexProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed + 900))
+		ctl := newCtl(NewFRFCFS())
+		// Open a few rows so ProjectHit exercises the hit-priority branch.
+		for b := 0; b < 4; b++ {
+			ctl.AcceptRead(rd(b, b+1, 0, memreq.GroupID{}), 0)
+		}
+		now := runUntilIdle(t, ctl, 0, 20000)
+
+		var model []*memreq.Request
+		refNext := func() (*memreq.Request, int) {
+			hit, any := -1, -1
+			for i, w := range model {
+				if !ctl.Chan.CanAccept(w.Bank) {
+					continue
+				}
+				if any == -1 {
+					any = i
+				}
+				if ctl.Chan.ProjectHit(w.Bank, w.Row) {
+					hit = i
+					break
+				}
+			}
+			idx := hit
+			if idx == -1 {
+				idx = any
+			}
+			if idx == -1 {
+				return nil, -1
+			}
+			return model[idx], idx
+		}
+		for step := 0; step < 5000; step++ {
+			if rng.Intn(2) == 0 {
+				w := wr(rng.Intn(16), rng.Intn(8), 0)
+				if ctl.AcceptWrite(w, now) {
+					model = append(model, w)
+				}
+			} else {
+				want, idx := refNext()
+				got := ctl.nextWrite()
+				if got != want {
+					t.Fatalf("seed %d step %d: nextWrite diverged from slice model", seed, step)
+				}
+				if idx >= 0 {
+					model = append(model[:idx], model[idx+1:]...)
+				}
+			}
+			if ctl.WriteOccupancy() != len(model) {
+				t.Fatalf("seed %d step %d: occupancy %d != model %d",
+					seed, step, ctl.WriteOccupancy(), len(model))
+			}
+		}
+	}
+}

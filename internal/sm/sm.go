@@ -107,6 +107,15 @@ type SM struct {
 	replay  []*memreq.Request // in-order request/credit injection queue
 	waiters map[uint64][]waiter
 
+	// pool recycles this SM's request allocations: responses it has fully
+	// absorbed (Deliver) and replay-queue requests filtered by the L1
+	// (dropOrCredit) feed the coalescer's next fan-out. Domain-local, so
+	// the parallel engine needs no synchronization around it.
+	pool memreq.Pool
+	// scratch and missBuf are issueLoad's reusable per-call buffers.
+	scratch []*memreq.Request
+	missBuf []uint64
+
 	greedy int
 	active int
 	// issuedLast records whether the last Tick issued an instruction: an
@@ -186,6 +195,7 @@ func (s *SM) Deliver(r *memreq.Request, now int64) {
 	for _, wt := range ws {
 		s.credit(wt, now)
 	}
+	s.pool.Put(r) // response fully absorbed; nothing references it now
 }
 
 // credit delivers one line response to a (warp, load) subscriber.
@@ -348,15 +358,16 @@ func (s *SM) drainReplay(now int64) {
 // memory controller still learns the group is fully transferred.
 func (s *SM) dropOrCredit(r *memreq.Request) {
 	if r.LastInChannel {
-		c := &memreq.Request{
-			ID: s.cfg.NextID(), Kind: memreq.Read, Addr: r.Addr,
-			Group: r.Group, CreditOnly: true,
-			Channel: r.Channel, Bank: r.Bank, Row: r.Row, Col: r.Col,
-		}
+		c := s.pool.Get()
+		c.ID, c.Kind, c.Addr = s.cfg.NextID(), memreq.Read, r.Addr
+		c.Group, c.CreditOnly = r.Group, true
+		c.Channel, c.Bank, c.Row, c.Col = r.Channel, r.Bank, r.Row, r.Col
 		s.replay[0] = c
+		s.pool.Put(r)
 		return
 	}
 	s.replay = s.replay[1:]
+	s.pool.Put(r)
 }
 
 // issue picks a warp greedy-then-oldest and issues its next instruction.
@@ -453,13 +464,14 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 	gid := s.gid(w, load)
 
 	// L1 probe: resident lines are satisfied at L1 latency.
-	var missing []uint64
+	missing := s.missBuf[:0]
 	for _, line := range lines {
 		if s.l1.Lookup(line) {
 			continue
 		}
 		missing = append(missing, line)
 	}
+	s.missBuf = missing
 	if s.cfg.Collector != nil {
 		s.cfg.Collector.OnLoadIssue(gid, now, len(lines), len(missing))
 	}
@@ -478,15 +490,15 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 
 	// Build all requests up front so the last request per channel can be
 	// tagged; enqueue in order on the LSU replay queue.
-	reqs := make([]*memreq.Request, len(missing))
+	reqs := s.scratch[:0]
 	lastToChannel := make(map[int]int)
 	for i, line := range missing {
 		c := s.cfg.Mapper.Decode(line)
-		reqs[i] = &memreq.Request{
-			ID: s.cfg.NextID(), Kind: memreq.Read, Addr: line,
-			Group: gid, Issue: now,
-			Channel: c.Channel, Bank: c.Bank, Row: c.Row, Col: c.Col,
-		}
+		r := s.pool.Get()
+		r.ID, r.Kind, r.Addr = s.cfg.NextID(), memreq.Read, line
+		r.Group, r.Issue = gid, now
+		r.Channel, r.Bank, r.Row, r.Col = c.Channel, c.Bank, c.Row, c.Col
+		reqs = append(reqs, r)
 		lastToChannel[c.Channel] = i
 	}
 	for _, i := range lastToChannel {
@@ -503,6 +515,7 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 		}
 	}
 	s.replay = append(s.replay, reqs...)
+	s.scratch = reqs[:0]
 	s.drainReplay(now)
 }
 
@@ -519,14 +532,14 @@ func (s *SM) issueStore(w *Warp, insn Insn, now int64) {
 		// stale copy, then send the write to the L2.
 		s.l1.Invalidate(line)
 		c := s.cfg.Mapper.Decode(line)
-		s.replay = append(s.replay, &memreq.Request{
-			ID: s.cfg.NextID(), Kind: memreq.Write, Addr: line,
-			Issue: now,
-			// Stores carry the SM in the group for response routing
-			// (unused) but no load serial: they are ungrouped.
-			Group:   memreq.GroupID{SM: uint16(s.cfg.ID)},
-			Channel: c.Channel, Bank: c.Bank, Row: c.Row, Col: c.Col,
-		})
+		r := s.pool.Get()
+		r.ID, r.Kind, r.Addr = s.cfg.NextID(), memreq.Write, line
+		r.Issue = now
+		// Stores carry the SM in the group for response routing
+		// (unused) but no load serial: they are ungrouped.
+		r.Group = memreq.GroupID{SM: uint16(s.cfg.ID)}
+		r.Channel, r.Bank, r.Row, r.Col = c.Channel, c.Bank, c.Row, c.Col
+		s.replay = append(s.replay, r)
 	}
 	w.readyAt = now + 1
 	s.drainReplay(now)

@@ -34,7 +34,11 @@ func newHarness(programs []Program, opts ...func(*Config)) *harness {
 			if h.reject {
 				return false
 			}
-			h.injected = append(h.injected, r)
+			// Record a snapshot, not the live pointer: once a request is
+			// delivered back the SM recycles it through its freelist, so
+			// holding the original would let later issues rewrite history.
+			cp := *r
+			h.injected = append(h.injected, &cp)
 			return true
 		},
 		NextID:    func() uint64 { h.id++; return h.id },
@@ -51,9 +55,11 @@ func (h *harness) pop() *memreq.Request {
 	if len(h.responses) == 0 {
 		return nil
 	}
-	r := h.responses[0]
+	// Hand the SM its own clone: Deliver ends with a freelist Put, and the
+	// queued entry is one of the snapshots in h.injected.
+	r := *h.responses[0]
 	h.responses = h.responses[1:]
-	return r
+	return &r
 }
 
 func (h *harness) run(from, to int64) {

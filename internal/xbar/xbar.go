@@ -11,9 +11,24 @@
 // A NoInterleave mode services one SM's queue to exhaustion before moving
 // on — the interconnect assumed by the WAFCFS comparator (Yuan et al.
 // [51], Section VI-C2).
+//
+// Concurrency model for the parallel engine (Par = true): during an SM
+// phase only Inject and PopResponse run, each (sm, part) request FIFO has
+// exactly one writer (its SM), and the shared bookkeeping (queued counts,
+// wake bounds, counters) is maintained with commutative atomics (adds and
+// CAS-min), so any interleaving produces the same state. During a
+// partition phase only PeekPart/pops and Respond run with the symmetric
+// single-writer property per (part, sm) response FIFO. The whole-crossbar
+// minima are recomputed exactly by the coordinator at each phase barrier
+// (RecomputeMins); the per-pop global-min maintenance of the serial
+// engines is skipped under Par because it reads other domains' entries.
 package xbar
 
-import "dramlat/internal/memreq"
+import (
+	"sync/atomic"
+
+	"dramlat/internal/memreq"
+)
 
 // never is the wakeup-contract sentinel (see dram.Never).
 const never int64 = 1 << 62
@@ -21,6 +36,51 @@ const never int64 = 1 << 62
 type entry struct {
 	req     *memreq.Request
 	readyAt int64
+}
+
+// ring is a reusable FIFO of entries: a power-of-two circular buffer that
+// grows on demand and never re-allocates on steady-state push/pop churn
+// (the old slice queues re-sliced on pop and re-allocated on append,
+// churning the allocator on the hottest path in the simulator).
+type ring struct {
+	buf  []entry
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) front() *entry {
+	return &r.buf[r.head]
+}
+
+func (r *ring) push(e entry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
+}
+
+func (r *ring) pop() entry {
+	e := r.buf[r.head]
+	r.buf[r.head] = entry{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return e
+}
+
+func (r *ring) grow() {
+	newCap := len(r.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]entry, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }
 
 // Xbar is the SM <-> partition crossbar.
@@ -34,12 +94,18 @@ type Xbar struct {
 	// NoInterleave makes each partition port drain one SM completely
 	// before rotating (WAFCFS interconnect).
 	NoInterleave bool
+	// Par marks parallel-engine use: the per-pop global-min recomputes
+	// are skipped (they read other domains' wake entries) and the
+	// coordinator restores exact minima at each barrier via
+	// RecomputeMins. Serial engines leave it false and keep the minima
+	// exact at every step.
+	Par bool
 
-	toPart [][][]entry // [sm][part] request FIFOs
-	toSM   [][][]entry // [part][sm] response FIFOs
-	rrReq  []int       // per-partition SM rotation
-	curSM  []int       // per-partition sticky SM (NoInterleave)
-	rrResp []int       // per-SM partition rotation
+	toPart [][]ring // [sm][part] request FIFOs
+	toSM   [][]ring // [part][sm] response FIFOs
+	rrReq  []int    // per-partition SM rotation
+	curSM  []int    // per-partition sticky SM (NoInterleave)
+	rrResp []int    // per-SM partition rotation
 
 	// Wakeup bookkeeping for the event-driven system loop. reqWake and
 	// respWake are lower bounds on the earliest head readyAt of the
@@ -48,7 +114,7 @@ type Xbar struct {
 	// pop attempt. A stale-early bound only costs a spurious visit.
 	reqWake  []int64
 	respWake []int64
-	queuedTo []int // per-partition queued request count (NoInterleave)
+	queuedTo []int64 // per-partition queued request count (NoInterleave)
 	// minReqWake / minRespWake are the exact minima of reqWake / respWake,
 	// kept current by the same insert/pop maintenance, so the system loop
 	// gets a whole-crossbar wake bound in O(1) per tick.
@@ -65,14 +131,14 @@ func New(numSM, numPart int, latency int64, capPerQueue int) *Xbar {
 	x := &Xbar{
 		NumSM: numSM, NumPart: numPart,
 		Latency: latency, CapPerQueue: capPerQueue,
-		toPart:   make([][][]entry, numSM),
-		toSM:     make([][][]entry, numPart),
+		toPart:   make([][]ring, numSM),
+		toSM:     make([][]ring, numPart),
 		rrReq:    make([]int, numPart),
 		curSM:    make([]int, numPart),
 		rrResp:   make([]int, numSM),
 		reqWake:  make([]int64, numPart),
 		respWake: make([]int64, numSM),
-		queuedTo: make([]int, numPart),
+		queuedTo: make([]int64, numPart),
 	}
 	x.minReqWake = never
 	x.minRespWake = never
@@ -83,10 +149,10 @@ func New(numSM, numPart int, latency int64, capPerQueue int) *Xbar {
 		x.respWake[i] = never
 	}
 	for i := range x.toPart {
-		x.toPart[i] = make([][]entry, numPart)
+		x.toPart[i] = make([]ring, numPart)
 	}
 	for i := range x.toSM {
-		x.toSM[i] = make([][]entry, numSM)
+		x.toSM[i] = make([]ring, numSM)
 	}
 	for i := range x.curSM {
 		x.curSM[i] = -1
@@ -94,23 +160,32 @@ func New(numSM, numPart int, latency int64, capPerQueue int) *Xbar {
 	return x
 }
 
-// Inject offers a request from SM sm toward its partition (req.Channel).
-// It returns false when the queue is full.
-func (x *Xbar) Inject(sm int, req *memreq.Request, now int64) bool {
-	q := &x.toPart[sm][req.Channel]
-	if len(*q) >= x.CapPerQueue {
-		x.Rejected++
-		return false
-	}
-	*q = append(*q, entry{req, now + x.Latency})
-	x.Injected++
-	x.queuedTo[req.Channel]++
-	if t := now + x.Latency; t < x.reqWake[req.Channel] {
-		x.reqWake[req.Channel] = t
-		if t < x.minReqWake {
-			x.minReqWake = t
+// casMin lowers *addr to v if v is smaller. The operation commutes, so
+// concurrent callers from any phase domain converge to the same value.
+func casMin(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v >= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
 		}
 	}
+}
+
+// Inject offers a request from SM sm toward its partition (req.Channel).
+// It returns false when the queue is full. Safe for concurrent use by
+// distinct SMs during a parallel SM phase.
+func (x *Xbar) Inject(sm int, req *memreq.Request, now int64) bool {
+	q := &x.toPart[sm][req.Channel]
+	if q.len() >= x.CapPerQueue {
+		atomic.AddInt64(&x.Rejected, 1)
+		return false
+	}
+	q.push(entry{req, now + x.Latency})
+	atomic.AddInt64(&x.Injected, 1)
+	atomic.AddInt64(&x.queuedTo[req.Channel], 1)
+	t := now + x.Latency
+	casMin(&x.reqWake[req.Channel], t)
+	casMin(&x.minReqWake, t)
 	return true
 }
 
@@ -123,12 +198,12 @@ func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
 	if x.NoInterleave {
 		// Stick with the current SM while it has anything queued.
 		cur := x.curSM[part]
-		if cur >= 0 && len(x.toPart[cur][part]) > 0 {
+		if cur >= 0 && x.toPart[cur][part].len() > 0 {
 			return x.headIfReady(cur, part, now)
 		}
 		for i := 0; i < x.NumSM; i++ {
 			sm := (x.rrReq[part] + i) % x.NumSM
-			if len(x.toPart[sm][part]) > 0 {
+			if x.toPart[sm][part].len() > 0 {
 				x.curSM[part] = sm
 				x.rrReq[part] = (sm + 1) % x.NumSM
 				return x.headIfReady(sm, part, now)
@@ -140,7 +215,7 @@ func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
 	// reqWake is a lower bound on the earliest head readyAt, so a future
 	// bound proves the SM scan below would find nothing. The arbitration
 	// state is untouched either way (rrReq only moves on a pop).
-	if x.queuedTo[part] == 0 || x.reqWake[part] > now {
+	if atomic.LoadInt64(&x.queuedTo[part]) == 0 || atomic.LoadInt64(&x.reqWake[part]) > now {
 		return nil, nil
 	}
 	for i := 0; i < x.NumSM; i++ {
@@ -157,28 +232,35 @@ func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
 }
 
 func (x *Xbar) headIfReady(sm, part int, now int64) (*memreq.Request, func()) {
-	q := x.toPart[sm][part]
-	if len(q) == 0 || q[0].readyAt > now {
+	q := &x.toPart[sm][part]
+	if q.len() == 0 || q.front().readyAt > now {
 		return nil, nil
 	}
-	return q[0].req, func() {
-		x.toPart[sm][part] = x.toPart[sm][part][1:]
-		x.queuedTo[part]--
+	return q.front().req, func() {
+		q.pop()
+		atomic.AddInt64(&x.queuedTo[part], -1)
 		x.recomputeReqWake(part)
 	}
 }
 
+// recomputeReqWake restores the exact per-partition request-wake bound
+// from the queue heads. Only partition `part`'s phase domain calls it, so
+// the index write is single-writer; the global-min pass is skipped under
+// Par (it reads every partition's bound) and restored at the barrier.
 func (x *Xbar) recomputeReqWake(part int) {
 	w := never
 	for sm := 0; sm < x.NumSM; sm++ {
-		if q := x.toPart[sm][part]; len(q) > 0 && q[0].readyAt < w {
-			w = q[0].readyAt
+		if q := &x.toPart[sm][part]; q.len() > 0 && q.front().readyAt < w {
+			w = q.front().readyAt
 		}
 	}
-	x.reqWake[part] = w
+	atomic.StoreInt64(&x.reqWake[part], w)
+	if x.Par {
+		return
+	}
 	m := never
-	for _, v := range x.reqWake {
-		if v < m {
+	for i := range x.reqWake {
+		if v := x.reqWake[i]; v < m {
 			m = v
 		}
 	}
@@ -188,18 +270,44 @@ func (x *Xbar) recomputeReqWake(part int) {
 func (x *Xbar) recomputeRespWake(sm int) {
 	w := never
 	for part := 0; part < x.NumPart; part++ {
-		if q := x.toSM[part][sm]; len(q) > 0 && q[0].readyAt < w {
-			w = q[0].readyAt
+		if q := &x.toSM[part][sm]; q.len() > 0 && q.front().readyAt < w {
+			w = q.front().readyAt
 		}
 	}
-	x.respWake[sm] = w
+	atomic.StoreInt64(&x.respWake[sm], w)
+	if x.Par {
+		return
+	}
 	m := never
-	for _, v := range x.respWake {
-		if v < m {
+	for i := range x.respWake {
+		if v := x.respWake[i]; v < m {
 			m = v
 		}
 	}
 	x.minRespWake = m
+}
+
+// RecomputeMins restores the exact whole-crossbar minima from the
+// per-index wake bounds. The parallel engine's coordinator calls it at
+// every phase barrier; the per-index bounds themselves are maintained
+// exactly by their owning domains (pop recomputes) and by commutative
+// CAS-min inserts, so the restored minima are byte-identical to the
+// serially maintained ones.
+func (x *Xbar) RecomputeMins() {
+	m := never
+	for i := range x.reqWake {
+		if v := atomic.LoadInt64(&x.reqWake[i]); v < m {
+			m = v
+		}
+	}
+	atomic.StoreInt64(&x.minReqWake, m)
+	m = never
+	for i := range x.respWake {
+		if v := atomic.LoadInt64(&x.respWake[i]); v < m {
+			m = v
+		}
+	}
+	atomic.StoreInt64(&x.minRespWake, m)
 }
 
 // ReqWake returns the earliest tick at which PeekPart(part, ·) could
@@ -209,80 +317,72 @@ func (x *Xbar) recomputeRespWake(sm int) {
 // even on not-ready heads.
 func (x *Xbar) ReqWake(part int) int64 {
 	if x.NoInterleave {
-		if x.queuedTo[part] > 0 {
+		if atomic.LoadInt64(&x.queuedTo[part]) > 0 {
 			return 0
 		}
 		return never
 	}
-	return x.reqWake[part]
+	return atomic.LoadInt64(&x.reqWake[part])
 }
 
 // RespWake returns the earliest tick at which PopResponse(sm, ·) could
 // return a response, or never when none are queued. The bound may be
 // stale-early (≤ now with no deliverable head), which only costs a
 // spurious SM visit, never a missed one.
-func (x *Xbar) RespWake(sm int) int64 { return x.respWake[sm] }
+func (x *Xbar) RespWake(sm int) int64 { return atomic.LoadInt64(&x.respWake[sm]) }
 
 // MinRespWake returns min over SMs of RespWake — the earliest tick any
 // SM could receive a response.
-func (x *Xbar) MinRespWake() int64 { return x.minRespWake }
+func (x *Xbar) MinRespWake() int64 { return atomic.LoadInt64(&x.minRespWake) }
 
 // MinReqWake returns min over partitions of ReqWake — the earliest tick
 // any partition could receive a request.
 func (x *Xbar) MinReqWake() int64 {
 	if x.NoInterleave {
-		for _, n := range x.queuedTo {
-			if n > 0 {
+		for i := range x.queuedTo {
+			if atomic.LoadInt64(&x.queuedTo[i]) > 0 {
 				return 0
 			}
 		}
 		return never
 	}
-	return x.minReqWake
+	return atomic.LoadInt64(&x.minReqWake)
 }
 
 // Respond sends a response from partition part back to the request's SM.
 // The response path is modeled with latency but without back-pressure (the
-// SM drains one response per tick, far above the DRAM return rate).
+// SM drains one response per tick, far above the DRAM return rate). Safe
+// for concurrent use by distinct partitions during a parallel partition
+// phase.
 func (x *Xbar) Respond(part int, req *memreq.Request, now int64) {
 	sm := int(req.Group.SM)
 	if !req.Group.Valid() {
 		sm = 0
 	}
-	x.toSM[part][sm] = append(x.toSM[part][sm], entry{req, now + x.Latency})
-	x.Responses++
-	if t := now + x.Latency; t < x.respWake[sm] {
-		x.respWake[sm] = t
-		if t < x.minRespWake {
-			x.minRespWake = t
-		}
-	}
+	x.RespondTo(part, sm, req, now)
 }
 
 // RespondTo sends a response to an explicit SM (for ungrouped traffic).
 func (x *Xbar) RespondTo(part, sm int, req *memreq.Request, now int64) {
-	x.toSM[part][sm] = append(x.toSM[part][sm], entry{req, now + x.Latency})
-	x.Responses++
-	if t := now + x.Latency; t < x.respWake[sm] {
-		x.respWake[sm] = t
-		if t < x.minRespWake {
-			x.minRespWake = t
-		}
-	}
+	x.toSM[part][sm].push(entry{req, now + x.Latency})
+	atomic.AddInt64(&x.Responses, 1)
+	t := now + x.Latency
+	casMin(&x.respWake[sm], t)
+	casMin(&x.minRespWake, t)
 }
 
 // PopResponse returns the next response for SM sm at tick now, or nil.
 func (x *Xbar) PopResponse(sm int, now int64) *memreq.Request {
 	for i := 0; i < x.NumPart; i++ {
 		part := (x.rrResp[sm] + i) % x.NumPart
-		q := x.toSM[part][sm]
-		if len(q) == 0 || q[0].readyAt > now {
+		q := &x.toSM[part][sm]
+		if q.len() == 0 || q.front().readyAt > now {
 			continue
 		}
-		x.toSM[part][sm] = q[1:]
+		e := q.pop()
 		x.rrResp[sm] = (part + 1) % x.NumPart
 		x.recomputeRespWake(sm)
-		return q[0].req
+		return e.req
 	}
 	x.recomputeRespWake(sm)
 	return nil
@@ -292,14 +392,14 @@ func (x *Xbar) PopResponse(sm int, now int64) *memreq.Request {
 func (x *Xbar) Empty() bool {
 	for sm := range x.toPart {
 		for part := range x.toPart[sm] {
-			if len(x.toPart[sm][part]) > 0 {
+			if x.toPart[sm][part].len() > 0 {
 				return false
 			}
 		}
 	}
 	for part := range x.toSM {
 		for sm := range x.toSM[part] {
-			if len(x.toSM[part][sm]) > 0 {
+			if x.toSM[part][sm].len() > 0 {
 				return false
 			}
 		}

@@ -1,0 +1,278 @@
+package dramlat
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dramlat/internal/gpu"
+	"dramlat/internal/guard/chaos"
+	"dramlat/internal/telemetry"
+	"dramlat/internal/workload"
+)
+
+func workloadParams(sms, warps int, scale float64) workload.Params {
+	p := workload.DefaultParams()
+	p.NumSMs = sms
+	p.WarpsPerSM = warps
+	p.Scale = scale
+	return p
+}
+
+func benchBuild(t *testing.T, name string, p workload.Params) gpu.Workload {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build(p)
+}
+
+// runSerialParallel executes the same spec under the serial event engine
+// and the parallel engine and returns both digests plus telemetry.
+func runSerialParallel(t *testing.T, spec RunSpec) (serial, par Results, stel, ptel *Telemetry) {
+	t.Helper()
+	ss := spec
+	ss.Engine = ""
+	var err error
+	serial, stel, err = RunTelemetry(ss)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	ps := spec
+	ps.Engine = "parallel"
+	par, ptel, err = RunTelemetry(ps)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	return serial, par, stel, ptel
+}
+
+// TestParallelMatchesEvent is the differential proof behind the parallel
+// engine: for every scheduler and an irregular-workload cross-section, at
+// both the paper's 30-SM machine and a 120-SM scale-up, the epoch-parallel
+// loop must produce Results byte-identical to the serial event engine. Any
+// mismatch means a phase domain touched state outside its shard or a
+// barrier absorbed staged work out of serial order.
+func TestParallelMatchesEvent(t *testing.T) {
+	workloads := []string{"bfs", "spmv", "cfd"}
+	smCounts := []int{30, 120}
+	if testing.Short() {
+		workloads = []string{"bfs"}
+		smCounts = []int{30}
+	}
+	for _, sched := range Schedulers() {
+		for _, wl := range workloads {
+			for _, sms := range smCounts {
+				spec := RunSpec{
+					Benchmark: wl, Scheduler: sched,
+					Scale: 0.02, SMs: sms, WarpsPerSM: 8,
+				}
+				t.Run(sched+"/"+wl+"/sm"+itoa(sms), func(t *testing.T) {
+					serial, par, _, _ := runSerialParallel(t, spec)
+					if !reflect.DeepEqual(serial, par) {
+						t.Fatalf("results diverge\nserial:   %+v\nparallel: %+v", serial, par)
+					}
+				})
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestParallelTelemetryMatches checks the staged-absorb machinery end to
+// end: event traces (including ring-drop behavior) and interval samples
+// must be byte-identical, not just the result digest.
+func TestParallelTelemetryMatches(t *testing.T) {
+	for _, sched := range []string{"frfcfs", "wg-w", "wg-sh", "atlas", "wafcfs"} {
+		t.Run(sched, func(t *testing.T) {
+			spec := RunSpec{
+				Benchmark: "spmv", Scheduler: sched,
+				Scale: 0.05, SMs: 6, WarpsPerSM: 8,
+				Telemetry: telemetry.Options{Events: true, EventCap: 1 << 14, SampleEvery: 500},
+			}
+			serial, par, stel, ptel := runSerialParallel(t, spec)
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("results diverge\nserial:   %+v\nparallel: %+v", serial, par)
+			}
+			if !reflect.DeepEqual(stel.Tracer.Events(), ptel.Tracer.Events()) {
+				t.Fatal("trace events diverge")
+			}
+			if stel.Tracer.Dropped() != ptel.Tracer.Dropped() {
+				t.Fatalf("ring drops diverge: serial %d, parallel %d", stel.Tracer.Dropped(), ptel.Tracer.Dropped())
+			}
+			if !reflect.DeepEqual(stel.Sampler, ptel.Sampler) {
+				t.Fatal("interval samples diverge")
+			}
+		})
+	}
+}
+
+// TestParallelShardCountInvariance: Results must not depend on the worker
+// count — explicit Shards from 1 to 2x the partition count, and a
+// GOMAXPROCS=1 process (the CI determinism check sets it via env) must all
+// reproduce the serial digest.
+func TestParallelShardCountInvariance(t *testing.T) {
+	spec := RunSpec{Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.05, SMs: 12, WarpsPerSM: 8}
+	ref, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Engine = "parallel"
+	for _, shards := range []int{1, 2, 3, 7, 12} {
+		spec.Shards = shards
+		got, err := Run(spec)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("shards=%d: results diverge from serial", shards)
+		}
+	}
+	// Force single-threaded execution: the spin barriers must degrade to
+	// Gosched handoffs without deadlock or divergence.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	spec.Shards = 4
+	got, err := Run(spec)
+	if err != nil {
+		t.Fatalf("GOMAXPROCS=1: %v", err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("GOMAXPROCS=1: results diverge from serial")
+	}
+}
+
+// TestParallelRefreshMatches exercises the refresh path (not exposed via
+// RunSpec) under the parallel engine.
+func TestParallelRefreshMatches(t *testing.T) {
+	for _, sched := range []string{"gmc", "frfcfs", "wg-w"} {
+		t.Run(sched, func(t *testing.T) {
+			build := func(engine string) Results {
+				cfg := gpu.DefaultConfig()
+				cfg.NumSMs = 6
+				cfg.WarpsPerSM = 8
+				cfg.Scheduler = sched
+				cfg.EnableRefresh = true
+				cfg.Engine = engine
+				p := workloadParams(cfg.NumSMs, cfg.WarpsPerSM, 0.05)
+				sys, err := gpu.NewSystem(cfg, benchBuild(t, "bfs", p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial, par := build(""), build("parallel")
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("results diverge with refresh\nserial:   %+v\nparallel: %+v", serial, par)
+			}
+		})
+	}
+}
+
+// TestParallelStallDumpShards: a comatose partition under the parallel
+// engine must trip the watchdog like the serial engines, and the dump must
+// carry the per-shard progress table.
+func TestParallelStallDumpShards(t *testing.T) {
+	spec := RunSpec{
+		Benchmark: "bfs", Scheduler: "wg-w",
+		Scale: 0.05, SMs: 4, WarpsPerSM: 8,
+		StallCycles: 20_000,
+		Engine:      "parallel",
+		Chaos:       &Faults{WakeTarget: chaos.TargetPartition, WakeIndex: 0, WakeAfter: 200},
+	}
+	_, err := Run(spec)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *StallError, got %v", err)
+	}
+	if stall.Kind != StallNoProgress {
+		t.Fatalf("kind = %q", stall.Kind)
+	}
+	if len(stall.Dump.Shards) == 0 {
+		t.Fatal("parallel stall dump carries no shard states")
+	}
+	var sawSM, sawPart bool
+	for _, sh := range stall.Dump.Shards {
+		switch sh.Kind {
+		case "sm":
+			sawSM = true
+		case "part":
+			sawPart = true
+		}
+		if sh.Last < sh.First {
+			t.Fatalf("empty shard range in dump: %+v", sh)
+		}
+	}
+	if !sawSM || !sawPart {
+		t.Fatalf("dump shard kinds incomplete: %+v", stall.Dump.Shards)
+	}
+	if s := stall.Dump.String(); !strings.Contains(s, "shard") {
+		t.Fatalf("rendered dump omits the shard table: %q", s)
+	}
+	// Live warps must be attributed to SM shards.
+	live := 0
+	for _, sh := range stall.Dump.Shards {
+		live += sh.LiveWarps
+	}
+	if live == 0 {
+		t.Fatal("shard table shows no live warps despite the hang")
+	}
+}
+
+// TestEngineValidation: the engine knobs validate without running.
+func TestEngineValidation(t *testing.T) {
+	spec := RunSpec{Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.05, SMs: 2, WarpsPerSM: 4}
+
+	bad := spec
+	bad.Engine = "quantum"
+	var ve *ValidationError
+	if err := bad.Validate(); !errors.As(err, &ve) {
+		t.Fatalf("unknown engine accepted: %v", err)
+	}
+
+	bad = spec
+	bad.Engine = "parallel"
+	bad.DenseLoop = true
+	if err := bad.Validate(); !errors.As(err, &ve) {
+		t.Fatalf("parallel+DenseLoop accepted: %v", err)
+	}
+
+	bad = spec
+	bad.Engine = "parallel"
+	bad.Shards = -1
+	if err := bad.Validate(); !errors.As(err, &ve) {
+		t.Fatalf("negative Shards accepted: %v", err)
+	}
+
+	// CmdLog is a Config-level knob: command logging is inherently serial.
+	cfg := gpu.DefaultConfig()
+	cfg.Engine = gpu.EngineParallel
+	cfg.CmdLog = &strings.Builder{}
+	if err := cfg.Validate(); !errors.As(err, &ve) {
+		t.Fatalf("parallel+CmdLog accepted: %v", err)
+	}
+	cfg.CmdLog = nil
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("plain parallel config rejected: %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+// Command bench5 measures the epoch-parallel engine (PR 5) against the
+// serial event engine and emits BENCH_5.json: wall-clock ns, simulated
+// ticks/sec and speedup per benchmark x scheduler x SM-count, each at
+// GOMAXPROCS 1, 2, 4 and 8. Workload construction is excluded from the
+// timings; each configuration is timed over -reps alternating runs and
+// the minimum wall time is reported. Every parallel run is checked
+// byte-identical to its serial reference before timing is trusted.
+//
+// The matrix pairs the paper's 30-SM machine with a 120-SM full-occupancy
+// scale-up: with 120 SM shards and six memory partitions there is enough
+// per-phase work for the contiguous shards to fill eight cores. The
+// report records host_cores because the speedup column is only
+// meaningful when the host can actually schedule GOMAXPROCS threads:
+// on a single-core host the spin barriers degrade to Gosched handoffs
+// and the parallel engine runs at serial speed (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	go run ./scripts/bench5 [-o BENCH_5.json] [-reps 3] [-scale 0.1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"dramlat/internal/gpu"
+	"dramlat/internal/workload"
+)
+
+// ProcsResult is one GOMAXPROCS point of a matrix cell. Workers is the
+// worker count the engine actually resolves: min(GOMAXPROCS, host cores,
+// SMs) — on a host with fewer cores than the requested GOMAXPROCS the
+// engine refuses to oversubscribe, so the speedup column saturates at
+// the hardware, not at the request.
+type ProcsResult struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	ParallelNS int64   `json:"parallel_ns"`
+	TicksPS    float64 `json:"parallel_ticks_per_sec"`
+	Speedup    float64 `json:"speedup_vs_serial"`
+}
+
+// Entry is one benchmark x scheduler x SM-count cell of BENCH_5.json.
+type Entry struct {
+	Benchmark string  `json:"benchmark"`
+	Scheduler string  `json:"scheduler"`
+	SMs       int     `json:"sms"`
+	WarpsPT   int     `json:"warps_per_sm"`
+	Scale     float64 `json:"scale"`
+	Ticks     int64   `json:"ticks"`
+
+	SerialNS      int64         `json:"serial_ns"`
+	SerialTicksPS float64       `json:"serial_ticks_per_sec"`
+	Procs         []ProcsResult `json:"procs"`
+}
+
+// Report wraps the matrix with the host context needed to interpret it.
+type Report struct {
+	HostCores  int     `json:"host_cores"`
+	Reps       int     `json:"reps"`
+	BestSpeed  float64 `json:"best_speedup"`
+	BestConfig string  `json:"best_speedup_config"`
+	Entries    []Entry `json:"entries"`
+}
+
+type cell struct {
+	bench, sched string
+	sms          int
+}
+
+func matrix() []cell {
+	var cells []cell
+	for _, b := range []string{"bfs", "spmv", "cfd"} {
+		for _, s := range []string{"gmc", "wg-w"} {
+			// The paper's 30-SM machine, then the full-occupancy 120-SM
+			// scale-up where sharding has enough work per phase to pay.
+			cells = append(cells, cell{b, s, 30})
+			cells = append(cells, cell{b, s, 120})
+		}
+	}
+	return cells
+}
+
+const warpsPerSM = 32
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench5:", err)
+	os.Exit(1)
+}
+
+// build constructs the workload once per cell; construction is identical
+// for both engines and excluded from all timings.
+func build(c cell, scale float64) gpu.Workload {
+	p := workload.DefaultParams()
+	p.Scale = scale
+	p.NumSMs = c.sms
+	p.WarpsPerSM = warpsPerSM
+	b, err := workload.ByName(c.bench)
+	if err != nil {
+		fail(err)
+	}
+	return b.Build(p)
+}
+
+func run(c cell, w gpu.Workload, engine string) (gpu.Results, time.Duration) {
+	cfg := gpu.DefaultConfig()
+	cfg.Scheduler = c.sched
+	cfg.NumSMs = c.sms
+	cfg.WarpsPerSM = warpsPerSM
+	cfg.Engine = engine
+	sys, err := gpu.NewSystem(cfg, w)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	res, err := sys.Run()
+	if err != nil {
+		fail(err)
+	}
+	return res, time.Since(start)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_5.json", "output file (\"-\" = stdout)")
+	reps := flag.Int("reps", 3, "timed repetitions per point (minimum is reported)")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	flag.Parse()
+
+	hostCores := runtime.NumCPU()
+	origProcs := runtime.GOMAXPROCS(0)
+	procsPoints := []int{1, 2, 4, 8}
+
+	rep := Report{HostCores: hostCores, Reps: *reps}
+	for _, c := range matrix() {
+		w := build(c, *scale)
+
+		var serialMin time.Duration
+		var serialRes gpu.Results
+		for r := 0; r < *reps; r++ {
+			res, dt := run(c, w, gpu.EngineEvent)
+			if r == 0 || dt < serialMin {
+				serialMin = dt
+			}
+			serialRes = res
+		}
+		e := Entry{
+			Benchmark: c.bench, Scheduler: c.sched,
+			SMs: c.sms, WarpsPT: warpsPerSM, Scale: *scale,
+			Ticks:    serialRes.Ticks,
+			SerialNS: serialMin.Nanoseconds(),
+			SerialTicksPS: float64(serialRes.Ticks) /
+				serialMin.Seconds(),
+		}
+
+		for _, procs := range procsPoints {
+			runtime.GOMAXPROCS(procs)
+			var parMin time.Duration
+			for r := 0; r < *reps; r++ {
+				res, dt := run(c, w, gpu.EngineParallel)
+				if !reflect.DeepEqual(serialRes, res) {
+					runtime.GOMAXPROCS(origProcs)
+					fail(fmt.Errorf("%s/%s sms=%d procs=%d: parallel results diverge from serial",
+						c.bench, c.sched, c.sms, procs))
+				}
+				if r == 0 || dt < parMin {
+					parMin = dt
+				}
+			}
+			runtime.GOMAXPROCS(origProcs)
+			workers := procs
+			if workers > hostCores {
+				workers = hostCores
+			}
+			if workers > c.sms {
+				workers = c.sms
+			}
+			pr := ProcsResult{
+				GOMAXPROCS: procs,
+				Workers:    workers,
+				ParallelNS: parMin.Nanoseconds(),
+				TicksPS:    float64(serialRes.Ticks) / parMin.Seconds(),
+				Speedup:    float64(serialMin) / float64(parMin),
+			}
+			e.Procs = append(e.Procs, pr)
+			if pr.Speedup > rep.BestSpeed {
+				rep.BestSpeed = pr.Speedup
+				rep.BestConfig = fmt.Sprintf("%s/%s sms=%d procs=%d",
+					c.bench, c.sched, c.sms, procs)
+			}
+			fmt.Fprintf(os.Stderr, "%-6s %-6s sms=%-4d procs=%d ticks=%-9d serial=%-10s parallel=%-10s %5.2fx\n",
+				c.bench, c.sched, c.sms, procs, e.Ticks,
+				serialMin.Round(time.Microsecond), parMin.Round(time.Microsecond), pr.Speedup)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+}

@@ -32,9 +32,19 @@ import (
 	"time"
 
 	"dramlat"
+	"dramlat/internal/atomicio"
 	"dramlat/internal/prof"
 	"dramlat/internal/sweep"
+	"dramlat/internal/sweepd/client"
 )
+
+// execer is the executor surface a session needs; both the local
+// sweep.Engine and the sweepd client.Remote satisfy it, so -server
+// swaps the backend without touching any table code.
+type execer interface {
+	RunContext(ctx context.Context, specs []dramlat.RunSpec) *sweep.Report
+	RunOneContext(ctx context.Context, spec dramlat.RunSpec) sweep.Outcome
+}
 
 // session is the per-invocation sweep state shared by every runner
 // (including the ablation sub-runners): the engine, an in-memory memo of
@@ -42,7 +52,7 @@ import (
 // for the exit summary and -json export.
 type session struct {
 	ctx      context.Context // cancels the whole invocation (SIGINT)
-	eng      *sweep.Engine
+	eng      execer
 	memo     map[string]sweep.Outcome // by canonical spec hash
 	order    []string                 // memo insertion order, for export
 	executed int
@@ -51,7 +61,7 @@ type session struct {
 	start    time.Time
 }
 
-func newSession(ctx context.Context, eng *sweep.Engine) *session {
+func newSession(ctx context.Context, eng execer) *session {
 	return &session{ctx: ctx, eng: eng, memo: map[string]sweep.Outcome{}, start: time.Now()}
 }
 
@@ -204,6 +214,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	seeds := flag.Int("seeds", 1, "average kernel times over this many seeds")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	server := flag.String("server", "", "run the simulations on a dlserve instance at this URL instead of locally")
+	priority := flag.Int("priority", 0, "with -server: job priority (higher runs first)")
 	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — results are engine-independent, so cache entries are shared")
 	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
 	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
@@ -216,30 +228,37 @@ func main() {
 	}
 	defer pf.Stop()
 
-	var cache *sweep.Cache
-	if *cacheDir != "" && *cacheDir != "none" {
-		var err error
-		cache, err = sweep.OpenCache(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dlbench: %v (running uncached)\n", err)
+	progress := func(ev sweep.Event) {
+		if ev.Outcome.Cached || ev.Outcome.Err != nil {
+			return
 		}
+		sp := ev.Outcome.Spec.Canonical()
+		fmt.Fprintf(os.Stderr, "  [%3d/%3d] ran %s/%s seed %d %10d ticks\n",
+			ev.Done, ev.Total, sp.Benchmark, sp.Scheduler, sp.Seed, ev.Outcome.Results.Ticks)
 	}
-	eng := &sweep.Engine{Workers: *workers, Cache: cache,
-		Progress: func(ev sweep.Event) {
-			if ev.Outcome.Cached || ev.Outcome.Err != nil {
-				return
+	var ex execer
+	var cache *sweep.Cache
+	if *server != "" {
+		// Thin-client mode: simulations run on a dlserve instance with its
+		// own cache, worker pool and engine selection.
+		ex = &client.Remote{BaseURL: *server, Priority: *priority, Progress: progress}
+	} else {
+		if *cacheDir != "" && *cacheDir != "none" {
+			var err error
+			cache, err = sweep.OpenCache(*cacheDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dlbench: %v (running uncached)\n", err)
 			}
-			sp := ev.Outcome.Spec.Canonical()
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] ran %s/%s seed %d %10d ticks\n",
-				ev.Done, ev.Total, sp.Benchmark, sp.Scheduler, sp.Seed, ev.Outcome.Results.Ticks)
-		}}
+		}
+		ex = &sweep.Engine{Workers: *workers, Cache: cache, Progress: progress}
+	}
 	// First SIGINT/SIGTERM cancels the session: in-flight simulations
 	// abort at their next watchdog check, finished results are already
 	// cached, and the partial accounting (and -json export) is still
 	// written — re-running the same command resumes from the cache.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	s := newSession(ctx, eng)
+	s := newSession(ctx, ex)
 	r := &runner{scale: *scale, sms: *sms, warps: *warps, seed: *seed, seeds: *seeds,
 		engine: *engine, shards: *shards, s: s}
 
@@ -271,8 +290,12 @@ func main() {
 	}
 	s.prewarm(specs)
 	if len(specs) > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d unique specs, %d executed, %d cached, %d failed (cache: %s)\n",
-			len(s.order), s.executed, s.cached, s.failed, cache.Dir())
+		backend := "cache: " + cache.Dir()
+		if *server != "" {
+			backend = "server: " + *server
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %d unique specs, %d executed, %d cached, %d failed (%s)\n",
+			len(s.order), s.executed, s.cached, s.failed, backend)
 	}
 
 	if ctx.Err() != nil {
@@ -284,18 +307,15 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		out := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dlbench:", err)
-				pf.Stop()
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
-		}
+		// Render into a buffer and commit in one step, so an interrupt or
+		// error mid-render never leaves a truncated export behind.
+		out := atomicio.Create(*jsonOut)
 		if err := s.report().WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			pf.Stop()
+			os.Exit(1)
+		}
+		if err := out.Commit(); err != nil {
 			fmt.Fprintln(os.Stderr, "dlbench:", err)
 			pf.Stop()
 			os.Exit(1)

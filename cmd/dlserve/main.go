@@ -1,0 +1,111 @@
+// Command dlserve runs the sweepd experiment service: a long-running
+// HTTP server that accepts sweep jobs (grids or spec lists), executes
+// them on a bounded worker pool over the shared persistent result
+// cache, streams live per-outcome progress, and drains gracefully on
+// SIGTERM — in-flight specs finish and persist, unfinished jobs are
+// marked resumable, and resubmitting them is served from the cache.
+//
+// Usage:
+//
+//	dlserve -addr :8080 -cache ~/.cache/dramlat/sweep -workers 8
+//	dlsweep -server http://localhost:8080 -bench bfs -sched gmc,wg-w
+//
+// The API lives under /api/v1 (see internal/sweepd). The matching Go
+// client is internal/sweepd/client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+	"dramlat/internal/sweepd"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlserve:", err)
+	os.Exit(1)
+}
+
+func defaultCacheDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return d + "/dramlat/sweep"
+	}
+	return ".dramlat-sweep"
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — results are engine-independent, so cache entries are shared")
+	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
+	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight specs on shutdown before aborting them")
+	verbose := flag.Bool("v", false, "log every finished spec, not just job lifecycle")
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	cache, err := sweep.OpenCache(*cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	eng := &sweep.Engine{Workers: *workers, Cache: cache, RunTimeout: *runTimeout}
+	if *engine != "" || *shards != 0 {
+		// Engine selection is a server-side execution detail: Engine and
+		// Shards are hash-excluded (results are engine-independent), so
+		// they never arrive over the wire — apply them here instead.
+		eng.Runner = func(sp dramlat.RunSpec) (dramlat.Results, error) {
+			sp.Engine = *engine
+			sp.Shards = *shards
+			return dramlat.Run(sp)
+		}
+	}
+
+	srv := sweepd.New(eng, logger)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGTERM/SIGINT: stop accepting connections, drain the queue
+	// (in-flight specs finish and persist; unfinished jobs are marked
+	// resumable), then exit. A second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		logger.Info("shutdown signal received, draining")
+		drained := make(chan struct{})
+		go func() { srv.Drain(); close(drained) }()
+		select {
+		case <-drained:
+		case <-time.After(*drainTimeout):
+			logger.Warn("drain timeout, aborting in-flight specs")
+			srv.Close()
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(sctx)
+		logger.Info("sweepd down")
+	}()
+
+	logger.Info("listening", "addr", *addr, "cache", cache.Dir())
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	<-done
+}

@@ -27,9 +27,18 @@ import (
 	"syscall"
 
 	"dramlat"
+	"dramlat/internal/atomicio"
 	"dramlat/internal/prof"
 	"dramlat/internal/sweep"
+	"dramlat/internal/sweepd/client"
 )
+
+// execer is the one surface dlsweep needs from an executor; both the
+// local sweep.Engine and the sweepd client.Remote satisfy it, so
+// -server swaps the backend without touching the report path.
+type execer interface {
+	RunContext(ctx context.Context, specs []dramlat.RunSpec) *sweep.Report
+}
 
 // stopProf flushes any active profiles before an error exit; main swaps
 // in the real stopper once the profiling flags are parsed.
@@ -139,6 +148,8 @@ func main() {
 	ablations := flag.String("ablation", "", "comma list of ablations (count-score,no-orphan,no-credits)")
 	warpscheds := flag.String("warpsched", "", "comma list of SM warp schedulers (gto,lrr)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	server := flag.String("server", "", "run the sweep on a dlserve instance at this URL instead of locally")
+	priority := flag.Int("priority", 0, "with -server: job priority (higher runs first)")
 	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — results are engine-independent, so cache entries are shared")
 	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
 	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); overruns fail like any other spec")
@@ -205,25 +216,9 @@ func main() {
 		}
 	}
 
-	var cache *sweep.Cache
-	if *cacheDir != "" && *cacheDir != "none" {
-		var err error
-		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
-			fail(err)
-		}
-	}
-	eng := &sweep.Engine{Workers: *workers, Cache: cache, RunTimeout: *runTimeout}
-	if *traceDir != "" {
-		if !*traceEvents && *sampleEvery <= 0 {
-			fail(fmt.Errorf("-trace-dir needs -trace-events and/or -sample-every"))
-		}
-		eng.TelemetryDir = *traceDir
-		eng.Telemetry = dramlat.TelemetryOptions{
-			Events: *traceEvents, EventCap: *traceCap, SampleEvery: *sampleEvery,
-		}
-	}
+	var progress func(sweep.Event)
 	if !*quiet {
-		eng.Progress = func(ev sweep.Event) {
+		progress = func(ev sweep.Event) {
 			sp := ev.Outcome.Spec.Canonical()
 			state := "ran"
 			if ev.Outcome.Cached {
@@ -237,17 +232,48 @@ func main() {
 		}
 	}
 
-	nw := *workers
-	if nw <= 0 {
-		nw = runtime.GOMAXPROCS(0)
-	}
 	specs := g.Enumerate()
-	for i := range specs {
-		specs[i].Engine = *engine
-		specs[i].Shards = *shards
+	var ex execer
+	if *server != "" {
+		// Thin-client mode: the sweep runs on a dlserve instance; its
+		// cache, worker pool and engine selection apply. Telemetry
+		// artifacts are local-only.
+		if *traceDir != "" {
+			fail(fmt.Errorf("-trace-dir is local-only, not available with -server"))
+		}
+		ex = &client.Remote{BaseURL: *server, Priority: *priority, Progress: progress}
+		fmt.Fprintf(os.Stderr, "dlsweep: %d specs on %s\n", len(specs), *server)
+	} else {
+		var cache *sweep.Cache
+		if *cacheDir != "" && *cacheDir != "none" {
+			var err error
+			if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+				fail(err)
+			}
+		}
+		eng := &sweep.Engine{Workers: *workers, Cache: cache,
+			RunTimeout: *runTimeout, Progress: progress}
+		if *traceDir != "" {
+			if !*traceEvents && *sampleEvery <= 0 {
+				fail(fmt.Errorf("-trace-dir needs -trace-events and/or -sample-every"))
+			}
+			eng.TelemetryDir = *traceDir
+			eng.Telemetry = dramlat.TelemetryOptions{
+				Events: *traceEvents, EventCap: *traceCap, SampleEvery: *sampleEvery,
+			}
+		}
+		for i := range specs {
+			specs[i].Engine = *engine
+			specs[i].Shards = *shards
+		}
+		nw := *workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "dlsweep: %d specs on %d workers (cache: %s)\n",
+			len(specs), nw, cache.Dir())
+		ex = eng
 	}
-	fmt.Fprintf(os.Stderr, "dlsweep: %d specs on %d workers (cache: %s)\n",
-		len(specs), nw, cache.Dir())
 
 	// First SIGINT/SIGTERM cancels the sweep: in-flight runs abort at
 	// their next watchdog check, completed results are already in the
@@ -256,7 +282,7 @@ func main() {
 	// process the usual way.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	rep := eng.RunContext(ctx, specs)
+	rep := ex.RunContext(ctx, specs)
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "dlsweep: interrupted — writing partial report (cached results are kept; re-run to resume)")
 	}
@@ -265,15 +291,10 @@ func main() {
 		fail(err)
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		w = f
-	}
+	// Render into a buffer and commit in one step: an interrupt or error
+	// mid-render leaves either the whole artifact or the previous one,
+	// never a truncated file.
+	w := atomicio.Create(*out)
 	var err error
 	switch *format {
 	case "json":
@@ -284,6 +305,9 @@ func main() {
 		err = fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
+		fail(err)
+	}
+	if err := w.Commit(); err != nil {
 		fail(err)
 	}
 

@@ -1,0 +1,74 @@
+// Package atomicio gives CLI output all-or-nothing semantics: renderers
+// write into a buffer, and Commit lands the whole thing in one step — a
+// single Write for stdout, a temp-file rename for paths. A SIGINT (or
+// any error exit) between render and commit therefore leaves either the
+// complete artifact or nothing: no truncated last line for a consumer
+// to choke on, and never a half-written file shadowing a good one.
+package atomicio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Writer buffers output destined for a file or stdout. The zero value
+// is not usable; see Create.
+type Writer struct {
+	buf       bytes.Buffer
+	path      string // "" means stdout
+	committed bool
+}
+
+// Create returns a writer that will commit to path; "-" or "" selects
+// stdout. Nothing touches the destination until Commit, so the old
+// artifact (if any) stays whole while the new one renders.
+func Create(path string) *Writer {
+	if path == "-" {
+		path = ""
+	}
+	return &Writer{path: path}
+}
+
+// Write buffers p; it cannot fail.
+func (w *Writer) Write(p []byte) (int, error) {
+	return w.buf.Write(p)
+}
+
+// Commit lands the buffered output: one os.Stdout.Write for stdout, or
+// an atomic temp-file + rename next to the destination path. Calling
+// Commit twice is an error; a writer that is never committed writes
+// nothing.
+func (w *Writer) Commit() error {
+	if w.committed {
+		return fmt.Errorf("atomicio: already committed")
+	}
+	w.committed = true
+	if w.path == "" {
+		_, err := os.Stdout.Write(w.buf.Bytes())
+		return err
+	}
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(w.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if _, err := tmp.Write(w.buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// Len reports the bytes buffered so far.
+func (w *Writer) Len() int { return w.buf.Len() }

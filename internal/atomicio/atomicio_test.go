@@ -1,0 +1,69 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCommitWritesFileAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	// A previous good artifact must survive until the new one commits.
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w := Create(path)
+	if _, err := w.Write([]byte(`{"a":`)); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-render: destination untouched.
+	if b, _ := os.ReadFile(path); string(b) != "old" {
+		t.Fatalf("destination changed before commit: %q", b)
+	}
+	if _, err := w.Write([]byte(`1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != `{"a":1}` {
+		t.Fatalf("committed content %q err %v", b, err)
+	}
+	// No stray temp files.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("stray temp file %s", e.Name())
+		}
+	}
+	if err := w.Commit(); err == nil {
+		t.Fatal("double commit succeeded")
+	}
+}
+
+func TestAbandonedWriterLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	w := Create(path)
+	w.Write([]byte("partial render then process death"))
+	// Never committed: destination must not exist.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("uncommitted writer touched the destination: %v", err)
+	}
+	if w.Len() == 0 {
+		t.Fatal("buffer empty")
+	}
+}
+
+func TestCreateStdin(t *testing.T) {
+	for _, p := range []string{"-", ""} {
+		w := Create(p)
+		if w.path != "" {
+			t.Fatalf("Create(%q) path %q", p, w.path)
+		}
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"dramlat"
 )
@@ -18,8 +20,25 @@ import (
 // (temp file + rename) so an interrupted sweep never leaves a torn entry
 // and a re-run resumes from whatever completed. A nil *Cache is a valid
 // disabled cache.
+//
+// The cache is safe for concurrent use from many goroutines (and, for
+// Get, many processes): temp-file names are unique, renames are atomic,
+// and same-hash writers are serialized through a striped lock so two
+// workers finishing the same spec at once cannot interleave their
+// temp-write/rename sequences.
 type Cache struct {
 	dir string
+	// putLocks stripes the per-hash Put serialization. 64 stripes keeps
+	// unrelated hashes effectively uncontended while making same-hash
+	// writers strictly sequential.
+	putLocks [64]sync.Mutex
+}
+
+// putLock returns the stripe lock for a hash.
+func (c *Cache) putLock(hash string) *sync.Mutex {
+	h := fnv.New32a()
+	h.Write([]byte(hash))
+	return &c.putLocks[h.Sum32()%uint32(len(c.putLocks))]
 }
 
 // OpenCache creates dir if needed and returns the cache rooted there.
@@ -72,24 +91,47 @@ func (c *Cache) path(hash string) string {
 // <path>.corrupt for post-mortem — and reported as a miss, so the sweep
 // transparently re-runs and re-caches the spec.
 func (c *Cache) Get(spec dramlat.RunSpec) (dramlat.Results, bool) {
-	if c == nil {
-		return dramlat.Results{}, false
+	_, res, ok := c.Entry(spec.Hash())
+	return res, ok
+}
+
+// Entry returns the stored spec and results for a content hash, with
+// the same verify-and-quarantine semantics as Get. It is the lookup
+// behind "fetch result by spec hash" service endpoints, so the hash is
+// validated strictly (64 lowercase hex chars) before it touches a path.
+func (c *Cache) Entry(hash string) (dramlat.RunSpec, dramlat.Results, bool) {
+	if c == nil || !validHash(hash) {
+		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
-	path := c.path(spec.Hash())
+	path := c.path(hash)
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return dramlat.Results{}, false
+		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil {
 		c.quarantine(path)
-		return dramlat.Results{}, false
+		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
 	if e.Checksum != checksum(e.Spec, e.Results) {
 		c.quarantine(path)
-		return dramlat.Results{}, false
+		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
-	return e.Results, true
+	return e.Spec, e.Results, true
+}
+
+// validHash reports whether s looks like a RunSpec.Hash (hex SHA-256).
+func validHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // quarantine moves a bad entry aside (best-effort; removed on rename
@@ -101,12 +143,18 @@ func (c *Cache) quarantine(path string) {
 }
 
 // Put stores a result. Failed runs are never stored, so a crash or
-// MaxTicks abort is retried on the next sweep.
+// MaxTicks abort is retried on the next sweep. Same-hash writers are
+// serialized (see Cache doc), so concurrent workers that resolved the
+// same spec — deduplicated jobs, overlapping sweeps — land exactly one
+// whole entry instead of racing the rename.
 func (c *Cache) Put(spec dramlat.RunSpec, res dramlat.Results) error {
 	if c == nil {
 		return nil
 	}
 	hash := spec.Hash()
+	mu := c.putLock(hash)
+	mu.Lock()
+	defer mu.Unlock()
 	canon := spec.Canonical()
 	b, err := json.MarshalIndent(entry{Spec: canon, Results: res, Checksum: checksum(canon, res)}, "", " ")
 	if err != nil {

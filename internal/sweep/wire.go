@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"dramlat"
+)
+
+// This file is the sweep stack's wire format: Outcome marshals to JSON
+// with its failure preserved as a *typed* payload, so a result that
+// crosses a process boundary (the sweepd service, a saved report, a
+// log line) round-trips back into the same errors.As-able error the
+// engine produced. Record (export.go) is the flattened row view; the
+// Outcome wire form below is the lossless one.
+
+// OutcomeKind classifies an Outcome for consumers that should not need
+// errors.As: the success states, plus one kind per typed failure the
+// façade can produce.
+type OutcomeKind string
+
+const (
+	// KindOK is a freshly executed, successful run.
+	KindOK OutcomeKind = "ok"
+	// KindCached is a successful result served from the cache (or from
+	// a deduplicated sibling execution).
+	KindCached OutcomeKind = "cached"
+	// KindCanceled is a spec that never ran (or was aborted) because
+	// the sweep's context was canceled.
+	KindCanceled OutcomeKind = "canceled"
+	// KindInvalid is a spec rejected by validation (*ValidationError).
+	KindInvalid OutcomeKind = "invalid"
+	// KindStalled is a run aborted by the liveness watchdog
+	// (*StallError: no-progress, cycle-budget, deadline or stopped).
+	KindStalled OutcomeKind = "stalled"
+	// KindCrashed is a panic recovered at the Run boundary (*RunError).
+	KindCrashed OutcomeKind = "crashed"
+	// KindFailed is any other error (I/O, custom runners, ...).
+	KindFailed OutcomeKind = "failed"
+)
+
+// Kinds lists every OutcomeKind, for table-driven consumers and tests.
+func Kinds() []OutcomeKind {
+	return []OutcomeKind{KindOK, KindCached, KindCanceled, KindInvalid,
+		KindStalled, KindCrashed, KindFailed}
+}
+
+// Kind classifies the outcome. Context cancellation wins over the typed
+// failures so a canceled sweep reads as canceled, not as a generic error.
+func (o Outcome) Kind() OutcomeKind {
+	if o.Err == nil {
+		if o.Cached {
+			return KindCached
+		}
+		return KindOK
+	}
+	return kindOfErr(o.Err)
+}
+
+func kindOfErr(err error) OutcomeKind {
+	var ve *dramlat.ValidationError
+	var se *dramlat.StallError
+	var re *dramlat.RunError
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return KindCanceled
+	case errors.As(err, &ve):
+		return KindInvalid
+	case errors.As(err, &se):
+		return KindStalled
+	case errors.As(err, &re):
+		return KindCrashed
+	}
+	return KindFailed
+}
+
+// FieldErrorWire is the wire form of one dramlat.FieldError. Value is
+// flattened to its fmt.Sprint form: FieldError.Value is `any`, and JSON
+// would silently retype it on the way back (ints become float64s), so
+// the wire pins the one representation that survives a round trip.
+type FieldErrorWire struct {
+	Field string `json:"field"`
+	Value string `json:"value,omitempty"`
+	Msg   string `json:"msg"`
+}
+
+// RunErrorWire is the wire form of a *dramlat.RunError. Panic is
+// flattened to its fmt.Sprint form for the same reason as
+// FieldErrorWire.Value.
+type RunErrorWire struct {
+	SpecHash string `json:"spec_hash"`
+	Phase    string `json:"phase"`
+	Cycle    int64  `json:"cycle"`
+	Panic    string `json:"panic"`
+	Stack    string `json:"stack,omitempty"`
+}
+
+// Failure is the wire form of an Outcome error: the full message plus
+// at most one typed payload. Unmarshalling reconstructs the typed error
+// (see Err), so errors.As keeps working across a process boundary.
+type Failure struct {
+	Kind    OutcomeKind         `json:"kind"`
+	Message string              `json:"message"`
+	Invalid []FieldErrorWire    `json:"invalid,omitempty"`
+	Stall   *dramlat.StallError `json:"stall,omitempty"`
+	Crash   *RunErrorWire       `json:"crash,omitempty"`
+}
+
+// failureOf captures err as a Failure.
+func failureOf(err error) *Failure {
+	f := &Failure{Kind: kindOfErr(err), Message: err.Error()}
+	var ve *dramlat.ValidationError
+	var se *dramlat.StallError
+	var re *dramlat.RunError
+	switch {
+	case errors.As(err, &ve):
+		for _, fe := range ve.Fields {
+			w := FieldErrorWire{Field: fe.Field, Msg: fe.Msg}
+			if fe.Value != nil {
+				w.Value = fmt.Sprint(fe.Value)
+			}
+			f.Invalid = append(f.Invalid, w)
+		}
+	case errors.As(err, &se):
+		f.Stall = se
+	case errors.As(err, &re):
+		f.Crash = &RunErrorWire{
+			SpecHash: re.SpecHash, Phase: re.Phase, Cycle: re.Cycle,
+			Panic: fmt.Sprint(re.Panic), Stack: re.Stack,
+		}
+	}
+	return f
+}
+
+// wireWrap preserves a wrapped error's full message around the
+// reconstructed typed cause, so both Error() and errors.As/Is survive
+// the round trip.
+type wireWrap struct {
+	msg   string
+	cause error
+}
+
+func (w *wireWrap) Error() string { return w.msg }
+func (w *wireWrap) Unwrap() error { return w.cause }
+
+// Err reconstructs the failure as a live error. When the typed payload
+// was the whole error, the exact type comes back (deep-equal to the
+// original); when it was wrapped (e.g. the façade's "dramlat: bench/
+// sched:" context), the message is preserved around the typed cause.
+func (f *Failure) Err() error {
+	var cause error
+	switch {
+	case len(f.Invalid) > 0:
+		ve := &dramlat.ValidationError{}
+		for _, w := range f.Invalid {
+			var v any
+			if w.Value != "" {
+				v = w.Value
+			}
+			ve.Fields = append(ve.Fields, dramlat.FieldError{Field: w.Field, Value: v, Msg: w.Msg})
+		}
+		cause = ve
+	case f.Stall != nil:
+		cause = f.Stall
+	case f.Crash != nil:
+		cause = &dramlat.RunError{
+			SpecHash: f.Crash.SpecHash, Phase: f.Crash.Phase,
+			Cycle: f.Crash.Cycle, Panic: f.Crash.Panic, Stack: f.Crash.Stack,
+		}
+	case f.Kind == KindCanceled && f.Message == context.Canceled.Error():
+		cause = context.Canceled
+	case f.Kind == KindCanceled && f.Message == context.DeadlineExceeded.Error():
+		cause = context.DeadlineExceeded
+	case f.Kind == KindCanceled:
+		cause = context.Canceled
+	default:
+		return errors.New(f.Message)
+	}
+	if cause.Error() == f.Message {
+		return cause
+	}
+	return &wireWrap{msg: f.Message, cause: cause}
+}
+
+// outcomeWire is the JSON shape of an Outcome.
+type outcomeWire struct {
+	Spec      dramlat.RunSpec `json:"spec"`
+	Hash      string          `json:"hash"`
+	Kind      OutcomeKind     `json:"kind"`
+	Results   dramlat.Results `json:"results"`
+	Cached    bool            `json:"cached,omitempty"`
+	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
+	Failure   *Failure        `json:"failure,omitempty"`
+}
+
+// MarshalJSON emits the outcome in its wire form: spec, hash, results
+// and (for failures) a typed Failure payload.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	w := outcomeWire{
+		Spec: o.Spec, Hash: o.Hash, Kind: o.Kind(),
+		Results: o.Results, Cached: o.Cached,
+		ElapsedNS: o.Elapsed.Nanoseconds(),
+	}
+	if o.Err != nil {
+		w.Failure = failureOf(o.Err)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON reconstructs an outcome, reviving typed failures so
+// errors.As(*StallError) etc. work on the receiving side.
+func (o *Outcome) UnmarshalJSON(b []byte) error {
+	var w outcomeWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return fmt.Errorf("sweep: decode outcome: %w", err)
+	}
+	*o = Outcome{
+		Spec: w.Spec, Hash: w.Hash, Results: w.Results,
+		Cached: w.Cached, Elapsed: time.Duration(w.ElapsedNS),
+	}
+	if w.Failure != nil {
+		o.Err = w.Failure.Err()
+	}
+	return nil
+}

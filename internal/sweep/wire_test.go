@@ -1,0 +1,212 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/guard"
+)
+
+// wireSpec is a spec whose zero-valued knobs survive a JSON round trip
+// unchanged (hash-excluded fields are all zero).
+func wireSpec() dramlat.RunSpec {
+	return dramlat.RunSpec{Benchmark: "bfs", Scheduler: "wg-w", Seed: 3,
+		Scale: 0.25, SMs: 4, WarpsPerSM: 8}
+}
+
+func wireResults() dramlat.Results {
+	return dramlat.Results{Scheduler: "wg-w", Workload: "bfs",
+		Ticks: 1234, Instr: 5678, IPC: 1.5, Drained: true,
+		Utilization: 0.42, RowHitRate: 0.6, L2HitRate: 0.3, L1HitRate: 0.2,
+		GapP50: 10, GapP90: 90, GapP99: 99, WriteFrac: 0.1}
+}
+
+// outcomeFixtures builds one Outcome per OutcomeKind. Failure payload
+// values that the wire flattens to strings (panic values, FieldError
+// values) are strings already, so the fixtures round-trip deep-equal.
+func outcomeFixtures() map[OutcomeKind]Outcome {
+	spec := wireSpec()
+	h := spec.Hash()
+	res := wireResults()
+	stall := &dramlat.StallError{
+		Kind: dramlat.StallNoProgress, Cycle: 5000, Budget: 1000,
+		Dump: dramlat.StallDump{
+			Cycle: 5000,
+			SMs: []guard.SMState{
+				{ID: 1, LiveWarps: 3, Blocked: 2, ReplayQueue: 1, NextWakeup: 6000},
+			},
+			Channels: []guard.ChannelState{
+				{Channel: 0, ReadQ: 4, SchedPending: 2, NextWakeup: 5100,
+					Banks: []guard.BankState{{Bank: 2, QueuedTxns: 3, OpenRow: 17, SchedRow: 17}}},
+			},
+			XbarReqWake:  77,
+			XbarRespWake: 88,
+		},
+	}
+	return map[OutcomeKind]Outcome{
+		KindOK:     {Spec: spec, Hash: h, Results: res, Elapsed: 250 * time.Millisecond},
+		KindCached: {Spec: spec, Hash: h, Results: res, Cached: true},
+		KindCanceled: {Spec: spec, Hash: h,
+			Err: context.Canceled},
+		KindInvalid: {Spec: spec, Hash: h,
+			Err: &dramlat.ValidationError{Fields: []dramlat.FieldError{
+				{Field: "Benchmark", Value: "nope", Msg: "unknown benchmark"},
+				{Field: "Scale", Value: "-1", Msg: "must be a finite value >= 0"},
+			}}},
+		KindStalled: {Spec: spec, Hash: h, Results: res, Err: stall,
+			Elapsed: time.Second},
+		KindCrashed: {Spec: spec, Hash: h,
+			Err: &dramlat.RunError{SpecHash: h, Phase: "run", Cycle: 42,
+				Panic: "invariant violated: bank 3 issued RD on closed row",
+				Stack: "goroutine 1 [running]:\nmain.main()"}},
+		KindFailed: {Spec: spec, Hash: h, Err: errors.New("disk full")},
+	}
+}
+
+// TestOutcomeJSONRoundTrip pins the service wire format: every
+// OutcomeKind marshals, unmarshals back deep-equal (including the typed
+// *StallError / *RunError / *ValidationError payloads), and re-marshals
+// to identical bytes.
+func TestOutcomeJSONRoundTrip(t *testing.T) {
+	fixtures := outcomeFixtures()
+	if len(fixtures) != len(Kinds()) {
+		t.Fatalf("fixtures cover %d kinds, Kinds() lists %d", len(fixtures), len(Kinds()))
+	}
+	for kind, o := range fixtures {
+		if got := o.Kind(); got != kind {
+			t.Fatalf("fixture for %q classifies as %q", kind, got)
+		}
+		b, err := json.Marshal(o)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", kind, err)
+		}
+		var back Outcome
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v\n%s", kind, err, b)
+		}
+		if !reflect.DeepEqual(o, back) {
+			t.Errorf("%s: round trip not deep-equal:\n orig %#v\n back %#v", kind, o, back)
+		}
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", kind, err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Errorf("%s: re-marshal bytes differ:\n%s\n%s", kind, b, b2)
+		}
+		if back.Kind() != kind {
+			t.Errorf("%s: kind after round trip %q", kind, back.Kind())
+		}
+	}
+}
+
+// TestOutcomeRoundTripTypedErrors: the revived errors answer errors.As
+// with payloads equal to the originals, message preserved, even when the
+// engine wrapped them in run context.
+func TestOutcomeRoundTripTypedErrors(t *testing.T) {
+	spec := wireSpec()
+	stall := &dramlat.StallError{Kind: dramlat.StallDeadline, Cycle: 9000,
+		Dump: dramlat.StallDump{Cycle: 9000, XbarReqWake: 1, XbarRespWake: 2}}
+	wrapped := fmt.Errorf("dramlat: bfs/wg-w: %w", stall)
+	o := Outcome{Spec: spec, Hash: spec.Hash(), Err: wrapped}
+
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Outcome
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err.Error() != wrapped.Error() {
+		t.Errorf("message lost: %q vs %q", back.Err.Error(), wrapped.Error())
+	}
+	var se *dramlat.StallError
+	if !errors.As(back.Err, &se) {
+		t.Fatalf("revived error %T is not errors.As-able to *StallError", back.Err)
+	}
+	if !reflect.DeepEqual(se, stall) {
+		t.Errorf("stall payload drifted:\n orig %+v\n back %+v", stall, se)
+	}
+
+	// A wrapped context cancellation keeps answering errors.Is.
+	o = Outcome{Spec: spec, Hash: spec.Hash(),
+		Err: fmt.Errorf("sweep: %w", context.Canceled)}
+	b, _ = json.Marshal(o)
+	var back2 Outcome
+	if err := json.Unmarshal(b, &back2); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(back2.Err, context.Canceled) {
+		t.Errorf("revived cancel %v is not errors.Is(context.Canceled)", back2.Err)
+	}
+	if back2.Kind() != KindCanceled {
+		t.Errorf("kind %q", back2.Kind())
+	}
+}
+
+// TestOutcomeWireNormalizesPanics: non-string panic values and
+// FieldError values flatten to their fmt.Sprint form once, then stay
+// stable (marshal∘unmarshal is idempotent after the first pass).
+func TestOutcomeWireNormalizesPanics(t *testing.T) {
+	spec := wireSpec()
+	o := Outcome{Spec: spec, Hash: spec.Hash(),
+		Err: &dramlat.RunError{SpecHash: spec.Hash(), Phase: "run", Cycle: 7,
+			Panic: dramlat.InvariantViolation{Msg: "queue overflow"}}}
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Outcome
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	var re *dramlat.RunError
+	if !errors.As(back.Err, &re) {
+		t.Fatalf("revived %T", back.Err)
+	}
+	want := fmt.Sprint(dramlat.InvariantViolation{Msg: "queue overflow"})
+	if re.Panic != want {
+		t.Errorf("panic flattened to %q, want %q", re.Panic, want)
+	}
+	// Second trip is lossless.
+	b2, _ := json.Marshal(back)
+	var back2 Outcome
+	if err := json.Unmarshal(b2, &back2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, back2) {
+		t.Error("second round trip drifted")
+	}
+}
+
+// TestRecordJSONRoundTrip pins the flattened row format the streaming
+// endpoints reuse.
+func TestRecordJSONRoundTrip(t *testing.T) {
+	o := Outcome{Spec: wireSpec(), Hash: wireSpec().Hash(),
+		Results: wireResults(), Elapsed: time.Second}
+	rec := RecordOf(o)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Errorf("record round trip:\n orig %+v\n back %+v", rec, back)
+	}
+	// Failures surface in the record's error column.
+	bad := Outcome{Spec: wireSpec(), Err: errors.New("boom")}
+	if r := RecordOf(bad); r.Error != "boom" {
+		t.Errorf("record error column %q", r.Error)
+	}
+}

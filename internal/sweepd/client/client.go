@@ -1,0 +1,290 @@
+// Package client is the typed Go client for the sweepd experiment
+// service. Remote mirrors sweep.Engine's RunContext / RunOneContext
+// surface, so cmd/dlsweep and cmd/dlbench switch between local and
+// remote execution behind one interface and produce identical reports
+// either way.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+	"dramlat/internal/sweepd"
+)
+
+// Remote executes sweeps on a sweepd server. The zero value is not
+// usable; set BaseURL. Methods are safe for concurrent use.
+type Remote struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the client to use; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Priority rides along with every submitted job.
+	Priority int
+	// Progress, when non-nil, receives one event per streamed outcome
+	// during RunContext, never concurrently — the same contract as
+	// sweep.Engine.Progress.
+	Progress func(sweep.Event)
+}
+
+func (r *Remote) httpClient() *http.Client {
+	if r.HTTP != nil {
+		return r.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (r *Remote) url(path string) string {
+	return strings.TrimRight(r.BaseURL, "/") + "/api/v1" + path
+}
+
+// apiError decodes the server's JSON error body into a Go error,
+// reviving validation field lists.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error  string               `json:"error"`
+		Fields []dramlat.FieldError `json:"fields"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		return fmt.Errorf("sweepd client: server returned %s", resp.Status)
+	}
+	if len(body.Fields) > 0 {
+		return &dramlat.ValidationError{Fields: body.Fields}
+	}
+	return fmt.Errorf("sweepd client: %s", body.Error)
+}
+
+func (r *Remote) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("sweepd client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.url(path), body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("sweepd client: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("sweepd client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit queues a job and returns its status without waiting for it.
+func (r *Remote) Submit(ctx context.Context, req sweepd.SubmitRequest) (sweepd.JobStatus, error) {
+	if req.Priority == 0 {
+		req.Priority = r.Priority
+	}
+	var st sweepd.JobStatus
+	err := r.do(ctx, http.MethodPost, "/jobs", req, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (r *Remote) Status(ctx context.Context, id string) (sweepd.JobStatus, error) {
+	var st sweepd.JobStatus
+	err := r.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists the server's jobs.
+func (r *Remote) Jobs(ctx context.Context) ([]sweepd.JobStatus, error) {
+	var out []sweepd.JobStatus
+	err := r.do(ctx, http.MethodGet, "/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel aborts a job.
+func (r *Remote) Cancel(ctx context.Context, id string) (sweepd.JobStatus, error) {
+	var st sweepd.JobStatus
+	err := r.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// Report fetches a job's full report: outcomes in input-spec order with
+// typed failures revived (errors.As works on them), counters with
+// engine semantics.
+func (r *Remote) Report(ctx context.Context, id string) (*sweep.Report, sweepd.JobStatus, error) {
+	var body sweepd.ReportResponse
+	if err := r.do(ctx, http.MethodGet, "/jobs/"+id+"/report", nil, &body); err != nil {
+		return nil, sweepd.JobStatus{}, err
+	}
+	rep := &sweep.Report{
+		Outcomes: body.Outcomes,
+		Executed: body.Job.Executed, Cached: body.Job.Cached, Failed: body.Job.Failed,
+		Elapsed: time.Duration(body.Job.ElapsedMS) * time.Millisecond,
+	}
+	return rep, body.Job, nil
+}
+
+// Result fetches one cached result by spec content hash.
+func (r *Remote) Result(ctx context.Context, hash string) (dramlat.RunSpec, dramlat.Results, error) {
+	var body sweepd.ResultResponse
+	if err := r.do(ctx, http.MethodGet, "/results/"+hash, nil, &body); err != nil {
+		return dramlat.RunSpec{}, dramlat.Results{}, err
+	}
+	return body.Spec, body.Results, nil
+}
+
+// Health fetches the server stats. A draining server answers (with
+// State "draining"), so this doubles as the liveness probe.
+func (r *Remote) Health(ctx context.Context) (sweepd.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url("/health"), nil)
+	if err != nil {
+		return sweepd.Stats{}, err
+	}
+	resp, err := r.httpClient().Do(req)
+	if err != nil {
+		return sweepd.Stats{}, fmt.Errorf("sweepd client: %w", err)
+	}
+	defer resp.Body.Close()
+	var st sweepd.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return sweepd.Stats{}, fmt.Errorf("sweepd client: decode health: %w", err)
+	}
+	return st, nil
+}
+
+// Stream follows a job's progress, calling fn for every event until
+// the job reaches a terminal state (returned), the stream ends, or ctx
+// is canceled. fn may be nil to just wait for completion.
+func (r *Remote) Stream(ctx context.Context, id string, fn func(sweepd.StreamEvent)) (sweepd.JobState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		r.url("/jobs/"+id+"/stream"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := r.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("sweepd client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // stall dumps can be large
+	var state sweepd.JobState
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev sweepd.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return state, fmt.Errorf("sweepd client: decode stream event: %w", err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.State != "" {
+			state = ev.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return state, ctx.Err()
+		}
+		return state, fmt.Errorf("sweepd client: stream: %w", err)
+	}
+	if state == "" {
+		return state, fmt.Errorf("sweepd client: stream ended without a terminal state")
+	}
+	return state, nil
+}
+
+// RunContext submits the specs as one job, streams progress (feeding
+// Progress, when set), and returns the completed report — the same
+// contract as sweep.Engine.RunContext, including outcome order and
+// cached/executed accounting. Canceling ctx cancels the remote job.
+func (r *Remote) RunContext(ctx context.Context, specs []dramlat.RunSpec) *sweep.Report {
+	rep, err := r.runContext(ctx, specs)
+	if err != nil {
+		// Mirror the engine's never-abort contract: every spec gets an
+		// outcome even when the service is unreachable.
+		rep = &sweep.Report{Outcomes: make([]sweep.Outcome, len(specs))}
+		for i, sp := range specs {
+			rep.Outcomes[i] = sweep.Outcome{Spec: sp, Hash: sp.Hash(), Err: err}
+		}
+		rep.Failed = len(specs)
+	}
+	return rep
+}
+
+func (r *Remote) runContext(ctx context.Context, specs []dramlat.RunSpec) (*sweep.Report, error) {
+	if len(specs) == 0 {
+		return &sweep.Report{}, nil
+	}
+	start := time.Now()
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: specs})
+	if err != nil {
+		return nil, err
+	}
+	_, err = r.Stream(ctx, st.ID, func(ev sweepd.StreamEvent) {
+		if r.Progress != nil && ev.Outcome != nil {
+			r.Progress(sweep.Event{
+				Done: ev.Done, Total: ev.Total,
+				Executed: ev.Executed, Cached: ev.Cached, Failed: ev.Failed,
+				Outcome: *ev.Outcome,
+			})
+		}
+	})
+	rctx := ctx
+	if ctx.Err() != nil {
+		// Our caller gave up: cancel the remote job (freeing its queue
+		// slots) and still fetch the partial report, mirroring the
+		// engine's interrupted-sweep behavior. The report marks every
+		// unfinished spec context.Canceled.
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, cerr := r.Cancel(rctx, st.ID); cerr != nil {
+			return nil, cerr
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	// The report is authoritative: it includes outcomes the stream never
+	// carried (canceled or drained specs) in input-spec order.
+	rep, _, err := r.Report(rctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// RunOneContext runs a single spec remotely — sweep.Engine.RunOneContext
+// over the wire.
+func (r *Remote) RunOneContext(ctx context.Context, spec dramlat.RunSpec) sweep.Outcome {
+	rep := r.RunContext(ctx, []dramlat.RunSpec{spec})
+	return rep.Outcomes[0]
+}

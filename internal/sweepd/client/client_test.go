@@ -1,0 +1,201 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+	"dramlat/internal/sweepd"
+)
+
+// countingRunner is a deterministic stand-in for dramlat.Run that
+// counts executions, so tests can assert cache-vs-execute behavior.
+type countingRunner struct {
+	mu   sync.Mutex
+	runs int
+}
+
+func (c *countingRunner) run(sp dramlat.RunSpec) (dramlat.Results, error) {
+	c.mu.Lock()
+	c.runs++
+	c.mu.Unlock()
+	if sp.Benchmark == "explode" {
+		return dramlat.Results{}, &dramlat.StallError{Kind: dramlat.StallNoProgress, Cycle: 7}
+	}
+	return dramlat.Results{Scheduler: sp.Scheduler, Workload: sp.Benchmark,
+		Ticks: 5000 + sp.Seed, Instr: 100 * sp.Seed, Drained: true}, nil
+}
+
+func (c *countingRunner) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+func startService(t *testing.T) (*Remote, *sweepd.Server, *countingRunner) {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &countingRunner{}
+	srv := sweepd.New(&sweep.Engine{Workers: 2, Cache: cache, Runner: run.run}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return &Remote{BaseURL: ts.URL, HTTP: ts.Client()}, srv, run
+}
+
+func grid2x2() sweep.Grid {
+	return sweep.Grid{Benchmarks: []string{"bfs", "spmv"},
+		Schedulers: []string{"gmc", "wg-w"},
+		Scales:     []float64{0.05}, SMs: []int{2}, WarpsPerSM: []int{4}}
+}
+
+// TestRemoteMatchesLocalRun is the acceptance check: the same grid via
+// the service produces a report identical to a local engine run —
+// outcomes, order, cached flags, counters (elapsed aside, which is
+// wall-clock on both sides).
+func TestRemoteMatchesLocalRun(t *testing.T) {
+	r, _, _ := startService(t)
+	specs := grid2x2().Enumerate()
+
+	// Local run with the same deterministic runner and a fresh cache.
+	localCache, _ := sweep.OpenCache(t.TempDir())
+	local := (&sweep.Engine{Workers: 2, Cache: localCache,
+		Runner: (&countingRunner{}).run}).Run(specs)
+
+	var events []sweep.Event
+	r.Progress = func(ev sweep.Event) { events = append(events, ev) }
+	remote := r.RunContext(context.Background(), specs)
+
+	if remote.Executed != local.Executed || remote.Cached != local.Cached ||
+		remote.Failed != local.Failed {
+		t.Fatalf("counters: remote %d/%d/%d local %d/%d/%d",
+			remote.Executed, remote.Cached, remote.Failed,
+			local.Executed, local.Cached, local.Failed)
+	}
+	if len(remote.Outcomes) != len(local.Outcomes) {
+		t.Fatalf("outcome count %d vs %d", len(remote.Outcomes), len(local.Outcomes))
+	}
+	for i := range local.Outcomes {
+		lo, ro := local.Outcomes[i], remote.Outcomes[i]
+		lo.Elapsed, ro.Elapsed = 0, 0
+		if !reflect.DeepEqual(lo, ro) {
+			t.Errorf("outcome %d differs:\n local %+v\n remote %+v", i, lo, ro)
+		}
+	}
+	if len(events) != len(specs) {
+		t.Errorf("progress saw %d events, want %d", len(events), len(specs))
+	}
+
+	// Resubmission: everything cache-served, nothing executed.
+	again := r.RunContext(context.Background(), specs)
+	if again.Cached != len(specs) || again.Executed != 0 {
+		t.Fatalf("resubmit: %d cached %d executed", again.Cached, again.Executed)
+	}
+	st, err := r.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != int64(len(specs)) {
+		t.Fatalf("stats executed %d after resubmit, want %d", st.Executed, len(specs))
+	}
+}
+
+func TestSubmitGridAndFetchByHash(t *testing.T) {
+	r, _, _ := startService(t)
+	ctx := context.Background()
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Grid: ptr(grid2x2())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 4 {
+		t.Fatalf("grid submitted %d specs, want 4", st.Total)
+	}
+	state, err := r.Stream(ctx, st.ID, nil)
+	if err != nil || state != sweepd.JobDone {
+		t.Fatalf("stream: state %v err %v", state, err)
+	}
+	rep, job, err := r.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != sweepd.JobDone || len(rep.Outcomes) != 4 {
+		t.Fatalf("report: %+v, %d outcomes", job, len(rep.Outcomes))
+	}
+	// Every outcome is fetchable by content hash.
+	for _, o := range rep.Outcomes {
+		spec, res, err := r.Result(ctx, o.Hash)
+		if err != nil {
+			t.Fatalf("result %s: %v", o.Hash, err)
+		}
+		if res != o.Results || spec.Hash() != o.Hash {
+			t.Fatalf("result %s mismatch", o.Hash)
+		}
+	}
+	if _, _, err := r.Result(ctx, "0000000000000000000000000000000000000000000000000000000000000000"); err == nil {
+		t.Fatal("absent hash fetch succeeded")
+	}
+}
+
+func TestRemoteRevivesTypedErrors(t *testing.T) {
+	r, _, _ := startService(t)
+	o := r.RunOneContext(context.Background(), dramlat.RunSpec{
+		Benchmark: "explode", Scheduler: "gmc", Scale: 0.05, SMs: 2, WarpsPerSM: 4})
+	var se *dramlat.StallError
+	if !errors.As(o.Err, &se) {
+		t.Fatalf("remote error %v (%T) lost its type", o.Err, o.Err)
+	}
+	if se.Kind != dramlat.StallNoProgress || se.Cycle != 7 {
+		t.Fatalf("stall payload drifted: %+v", se)
+	}
+}
+
+func TestBadGridRejectedWithFields(t *testing.T) {
+	r, _, _ := startService(t)
+	g := sweep.Grid{Benchmarks: []string{"nope"}}
+	_, err := r.Submit(context.Background(), sweepd.SubmitRequest{Grid: &g})
+	if err == nil {
+		t.Fatal("bad grid accepted")
+	}
+	var ve *dramlat.ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %v (%T) is not a revived *ValidationError", err, err)
+	}
+	if len(ve.Fields) != 1 || ve.Fields[0].Field != "benchmarks[0]" {
+		t.Fatalf("fields %+v", ve.Fields)
+	}
+}
+
+func TestCancelOverHTTP(t *testing.T) {
+	r, srv, _ := startService(t)
+	_ = srv
+	ctx := context.Background()
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: []dramlat.RunSpec{
+		{Benchmark: "bfs", Scheduler: "gmc", Scale: 0.05, SMs: 2, WarpsPerSM: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job may already be done (tiny spec, fast runner); cancel must
+	// succeed either way and the job must end terminal.
+	if _, err := r.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := r.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != sweepd.JobCanceled && fin.State != sweepd.JobDone {
+		t.Fatalf("state after cancel: %v", fin.State)
+	}
+	if _, err := r.Cancel(ctx, "job-12345"); err == nil {
+		t.Fatal("cancel of unknown job succeeded over HTTP")
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

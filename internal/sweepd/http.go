@@ -1,0 +1,263 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+)
+
+// The HTTP surface, all under /api/v1:
+//
+//	POST   /jobs                submit a grid and/or spec list -> job ID
+//	GET    /jobs                list jobs
+//	GET    /jobs/{id}           one job's status
+//	GET    /jobs/{id}/stream    live progress, NDJSON (or SSE via Accept)
+//	GET    /jobs/{id}/report    full report: outcomes in input order
+//	POST   /jobs/{id}/cancel    cancel (DELETE /jobs/{id} is an alias)
+//	GET    /results/{hash}      one cached result by spec content hash
+//	GET    /health              stats / liveness
+//
+// Failures are JSON {"error": ..., "fields": [...]}, with validation
+// problems carried field by field so a client fixes a bad grid in one
+// round trip.
+
+// SubmitRequest is the POST /jobs body. Grid, when present, is
+// enumerated first; Specs are appended verbatim after (matching
+// sweep.Grid.Extra semantics). Priority orders jobs in the queue
+// (higher first; equal priorities are FIFO).
+type SubmitRequest struct {
+	Grid     *sweep.Grid       `json:"grid,omitempty"`
+	Specs    []dramlat.RunSpec `json:"specs,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+}
+
+// StreamEvent is one NDJSON line (or SSE data payload) of a progress
+// stream: the job counters after this outcome, the flattened
+// sweep.Record row, and the lossless outcome itself. The final line of
+// every stream has no record and a terminal State.
+type StreamEvent struct {
+	Done     int      `json:"done"`
+	Total    int      `json:"total"`
+	Executed int      `json:"executed"`
+	Cached   int      `json:"cached"`
+	Failed   int      `json:"failed"`
+	Index    int      `json:"index,omitempty"` // spec index within the job
+	State    JobState `json:"state,omitempty"` // set on the terminal line
+
+	Record  *sweep.Record  `json:"record,omitempty"`
+	Outcome *sweep.Outcome `json:"outcome,omitempty"`
+}
+
+// ReportResponse is the GET /jobs/{id}/report body.
+type ReportResponse struct {
+	Job      JobStatus       `json:"job"`
+	Outcomes []sweep.Outcome `json:"outcomes"`
+}
+
+// ResultResponse is the GET /results/{hash} body.
+type ResultResponse struct {
+	Hash    string          `json:"hash"`
+	Spec    dramlat.RunSpec `json:"spec"`
+	Results dramlat.Results `json:"results"`
+}
+
+// errorBody is every non-2xx response.
+type errorBody struct {
+	Error  string               `json:"error"`
+	Fields []dramlat.FieldError `json:"fields,omitempty"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /api/v1/health", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	body := errorBody{Error: err.Error()}
+	var ve *dramlat.ValidationError
+	if errors.As(err, &ve) {
+		body.Fields = ve.Fields
+		// FieldError.Value is `any`; flatten for deterministic JSON.
+		for i := range body.Fields {
+			if body.Fields[i].Value != nil {
+				body.Fields[i].Value = fmt.Sprint(body.Fields[i].Value)
+			}
+		}
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var specs []dramlat.RunSpec
+	if req.Grid != nil {
+		if err := req.Grid.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		specs = req.Grid.Enumerate()
+	}
+	specs = append(specs, req.Specs...)
+	st, err := s.Submit(specs, req.Priority)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, st, err := s.Report(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReportResponse{Job: st, Outcomes: rep.Outcomes})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	spec, res, ok := s.Result(hash)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no cached result for hash %q", hash))
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{Hash: hash, Spec: spec, Results: res})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.State != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// handleStream replays a job's event log and then follows it live until
+// the job reaches a terminal state or the client disconnects. Each
+// event is one StreamEvent; the stream always ends with a terminal
+// line carrying the job's final state (unless the client left early).
+// Content negotiation: "Accept: text/event-stream" selects SSE, the
+// default is NDJSON.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Status(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+
+	emit := func(ev StreamEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", b)
+		}
+		flush()
+		return err
+	}
+
+	offset := 0
+	for {
+		events, state, err := s.Events(r.Context(), id, offset)
+		if err != nil {
+			return // client gone (or job vanished — nothing to say)
+		}
+		for _, je := range events {
+			o := je.Event.Outcome
+			rec := sweep.RecordOf(o)
+			if err := emit(StreamEvent{
+				Done: je.Event.Done, Total: je.Event.Total,
+				Executed: je.Event.Executed, Cached: je.Event.Cached,
+				Failed: je.Event.Failed, Index: je.Index,
+				Record: &rec, Outcome: &o,
+			}); err != nil {
+				return
+			}
+		}
+		offset += len(events)
+		if state.terminal() {
+			st, err := s.Status(id)
+			if err != nil {
+				return
+			}
+			emit(StreamEvent{
+				Done: st.Done, Total: st.Total, Executed: st.Executed,
+				Cached: st.Cached, Failed: st.Failed, State: st.State,
+			})
+			return
+		}
+	}
+}

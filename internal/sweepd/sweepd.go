@@ -1,0 +1,578 @@
+// Package sweepd is the long-running experiment service behind
+// cmd/dlserve: it accepts sweep jobs (grids or spec lists) over HTTP,
+// deduplicates specs by content hash across every submitted job, runs
+// them on a bounded worker pool backed by the shared persistent
+// sweep.Cache, streams per-outcome progress to any number of watchers,
+// and drains gracefully on shutdown so interrupted jobs are resumable
+// from the cache.
+//
+// The core is a priority task queue in front of sweep.Engine's
+// RunOneContext. A "task" is one unique spec hash; every (job, spec
+// index) pair that needs it registers as a waiter, so two overlapping
+// grids submitted concurrently execute each distinct hash exactly once
+// — the tasks map is the singleflight. The first waiter plays the
+// engine's "leader" role (its outcome keeps Cached/Elapsed verbatim);
+// later waiters are followers and report Cached, exactly like
+// sweep.Engine deduplication, so a report fetched from the service is
+// indistinguishable from a local run.
+package sweepd
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sync"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	// JobRunning: specs are queued or executing.
+	JobRunning JobState = "running"
+	// JobDone: every spec has an outcome (some may have failed).
+	JobDone JobState = "done"
+	// JobCanceled: canceled by request; unfinished specs carry
+	// context.Canceled outcomes.
+	JobCanceled JobState = "canceled"
+	// JobResumable: the server drained before the job finished.
+	// Completed specs are in the cache, so resubmitting the same job
+	// serves the finished prefix instantly.
+	JobResumable JobState = "resumable"
+)
+
+func (s JobState) terminal() bool { return s != JobRunning }
+
+// ErrDrained marks specs a graceful shutdown never ran.
+var ErrDrained = errors.New("sweepd: server drained before this spec ran")
+
+// ErrDraining rejects submissions once shutdown has begun.
+var ErrDraining = errors.New("sweepd: server is draining")
+
+// Stats is the health/stats endpoint payload. Counters are cumulative
+// over the server's lifetime; Executed counts specs actually simulated
+// (a resubmitted, fully cached grid leaves it untouched).
+type Stats struct {
+	State       string `json:"state"` // ok | draining
+	Workers     int    `json:"workers"`
+	Jobs        int    `json:"jobs"`
+	ActiveJobs  int    `json:"active_jobs"`
+	QueuedSpecs int    `json:"queued_specs"`
+	Running     int    `json:"running"`
+	Executed    int64  `json:"executed"`
+	CacheHits   int64  `json:"cache_hits"`
+	Deduped     int64  `json:"deduped"`
+	Failed      int64  `json:"failed"`
+	CacheDir    string `json:"cache_dir,omitempty"`
+}
+
+// JobStatus is the externally visible state of one job.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	State     JobState  `json:"state"`
+	Priority  int       `json:"priority,omitempty"`
+	Total     int       `json:"total"`
+	Done      int       `json:"done"`
+	Executed  int       `json:"executed"`
+	Cached    int       `json:"cached"`
+	Failed    int       `json:"failed"`
+	Submitted time.Time `json:"submitted"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+}
+
+// task is one unique spec hash wanted by one or more (job, index)
+// waiters. It sits in the priority heap until a worker claims it.
+type task struct {
+	hash     string
+	spec     dramlat.RunSpec
+	priority int
+	seq      int64 // FIFO tiebreak within a priority
+	waiters  []waiter
+	running  bool
+	index    int // heap index; -1 once claimed or removed
+}
+
+type waiter struct {
+	job *job
+	idx int
+}
+
+// taskHeap orders by priority (higher first), then submission order.
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*task)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	t := old[len(old)-1]
+	old[len(old)-1] = nil
+	t.index = -1
+	*h = old[:len(old)-1]
+	return t
+}
+
+// jobEvent is one completed spec in a job's event log: everything a
+// progress stream needs, kept so late subscribers replay from the start.
+type jobEvent struct {
+	Index int
+	Event sweep.Event
+}
+
+type job struct {
+	id        string
+	priority  int
+	state     JobState
+	specs     []dramlat.RunSpec
+	outcomes  []sweep.Outcome
+	filled    []bool
+	done      int
+	executed  int
+	cached    int
+	failed    int
+	events    []jobEvent
+	submitted time.Time
+	finished  time.Time
+}
+
+func (j *job) status() JobStatus {
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return JobStatus{
+		ID: j.id, State: j.state, Priority: j.priority,
+		Total: len(j.specs), Done: j.done,
+		Executed: j.executed, Cached: j.cached, Failed: j.failed,
+		Submitted: j.submitted,
+		ElapsedMS: end.Sub(j.submitted).Milliseconds(),
+	}
+}
+
+// Server owns the queue, the jobs, and the worker pool. All mutable
+// state is guarded by mu; workCond wakes workers when tasks arrive,
+// eventCond wakes progress streams when any job advances.
+type Server struct {
+	eng    *sweep.Engine
+	logger *slog.Logger
+
+	ctx    context.Context // cancels in-flight simulations on Close
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	workCond *sync.Cond
+	evCond   *sync.Cond
+	jobs     map[string]*job
+	order    []string // job submission order
+	tasks    map[string]*task
+	pq       taskHeap
+	seq      int64
+	nextJob  int64
+	draining bool
+	running  int
+	stats    struct {
+		executed, cacheHits, deduped, failed int64
+	}
+
+	wg sync.WaitGroup // worker goroutines
+}
+
+// New starts a server with eng's worker count (Workers <= 0 means
+// GOMAXPROCS). The engine's cache, runner and timeout apply to every
+// spec the service executes. A nil logger discards logs.
+func New(eng *sweep.Engine, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		eng: eng, logger: logger,
+		ctx: ctx, cancel: cancel,
+		jobs:  map[string]*job{},
+		tasks: map[string]*task{},
+	}
+	s.workCond = sync.NewCond(&s.mu)
+	s.evCond = sync.NewCond(&s.mu)
+	n := eng.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	s.logger.Info("sweepd up", "workers", n, "cache", eng.Cache.Dir())
+	return s
+}
+
+// Workers reports the pool size.
+func (s *Server) Workers() int {
+	n := s.eng.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Submit queues one job over the given specs. Specs are not
+// pre-validated: an invalid spec fails at execution with a
+// *dramlat.ValidationError outcome, exactly as in a local sweep, so
+// remote and local reports stay identical. Duplicate hashes — within
+// the job or against specs other live jobs are already waiting on —
+// execute once.
+func (s *Server) Submit(specs []dramlat.RunSpec, priority int) (JobStatus, error) {
+	if len(specs) == 0 {
+		return JobStatus{}, errors.New("sweepd: job has no specs")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	s.nextJob++
+	j := &job{
+		id:       fmt.Sprintf("job-%d", s.nextJob),
+		priority: priority,
+		state:    JobRunning,
+		specs:    specs,
+		outcomes: make([]sweep.Outcome, len(specs)),
+		filled:   make([]bool, len(specs)),
+
+		submitted: time.Now(),
+	}
+	for i, sp := range specs {
+		h := sp.Hash()
+		j.outcomes[i] = sweep.Outcome{Spec: sp, Hash: h}
+		if t, ok := s.tasks[h]; ok {
+			t.waiters = append(t.waiters, waiter{j, i})
+			s.stats.deduped++
+			// A waiting task inherits the most urgent priority asked
+			// of it.
+			if priority > t.priority && t.index >= 0 {
+				t.priority = priority
+				heap.Fix(&s.pq, t.index)
+			}
+			continue
+		}
+		s.seq++
+		t := &task{hash: h, spec: sp, priority: priority, seq: s.seq,
+			waiters: []waiter{{j, i}}}
+		s.tasks[h] = t
+		heap.Push(&s.pq, t)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.workCond.Broadcast()
+	s.logger.Info("job submitted", "job", j.id, "specs", len(specs), "priority", priority)
+	return j.status(), nil
+}
+
+// worker pulls the highest-priority task, runs it through the engine
+// (cache first), and fans the outcome out to every waiter.
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pq) == 0 && !s.draining {
+			s.workCond.Wait()
+		}
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&s.pq).(*task)
+		t.running = true
+		s.running++
+		s.mu.Unlock()
+
+		start := time.Now()
+		o := s.eng.RunOneContext(s.ctx, t.spec)
+		s.logger.Debug("spec finished",
+			"worker", id, "hash", t.hash, "kind", string(o.Kind()),
+			"ms", time.Since(start).Milliseconds())
+
+		s.mu.Lock()
+		s.running--
+		s.complete(t, o)
+		s.mu.Unlock()
+	}
+}
+
+// complete (mu held) distributes a task's outcome to its waiters with
+// the engine's leader/follower semantics and retires the task.
+func (s *Server) complete(t *task, o sweep.Outcome) {
+	delete(s.tasks, t.hash)
+	switch {
+	case o.Cached:
+		s.stats.cacheHits++
+	default:
+		s.stats.executed++
+	}
+	if o.Err != nil {
+		s.stats.failed++
+	}
+	for k, w := range t.waiters {
+		oc := o
+		oc.Spec = w.job.specs[w.idx]
+		oc.Hash = t.hash
+		if k > 0 {
+			// Followers are served by the leader's run: cached on
+			// success, no elapsed time of their own.
+			oc.Cached = o.Err == nil
+			oc.Elapsed = 0
+		}
+		s.deliver(w.job, w.idx, oc, k > 0)
+	}
+	s.evCond.Broadcast()
+}
+
+// deliver (mu held) lands one outcome in a job and advances its
+// counters and event log. Counter semantics mirror sweep.Engine:
+// executed counts leader runs only, followers of a successful leader
+// count as cached.
+func (s *Server) deliver(j *job, idx int, o sweep.Outcome, follower bool) {
+	if j.state.terminal() || j.filled[idx] {
+		return
+	}
+	j.outcomes[idx] = o
+	j.filled[idx] = true
+	j.done++
+	if o.Err != nil {
+		j.failed++
+	}
+	if o.Cached {
+		j.cached++
+	} else if !follower {
+		j.executed++
+	}
+	j.events = append(j.events, jobEvent{Index: idx, Event: sweep.Event{
+		Done: j.done, Total: len(j.specs),
+		Executed: j.executed, Cached: j.cached, Failed: j.failed,
+		Outcome: o,
+	}})
+	if j.done == len(j.specs) {
+		j.state = JobDone
+		j.finished = time.Now()
+		s.logger.Info("job done", "job", j.id,
+			"executed", j.executed, "cached", j.cached, "failed", j.failed,
+			"ms", j.finished.Sub(j.submitted).Milliseconds())
+	}
+}
+
+// Cancel aborts a job: unfinished specs get context.Canceled outcomes,
+// and queue entries no other job waits on are dropped. Specs already
+// executing finish (their results still land in the cache) but the
+// outcome is discarded for this job. Canceling a terminal job is a
+// no-op; an unknown ID is an error.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("sweepd: unknown job %q", id)
+	}
+	if j.state.terminal() {
+		return j.status(), nil
+	}
+	// Detach this job from every task it is waiting on.
+	for h, t := range s.tasks {
+		kept := t.waiters[:0]
+		for _, w := range t.waiters {
+			if w.job != j {
+				kept = append(kept, w)
+			}
+		}
+		t.waiters = kept
+		if len(kept) == 0 && !t.running {
+			heap.Remove(&s.pq, t.index)
+			delete(s.tasks, h)
+		}
+	}
+	for i := range j.specs {
+		if !j.filled[i] {
+			j.outcomes[i].Err = context.Canceled
+			j.filled[i] = true
+			j.done++
+			j.failed++
+		}
+	}
+	j.state = JobCanceled
+	j.finished = time.Now()
+	s.evCond.Broadcast()
+	s.logger.Info("job canceled", "job", id, "done", j.done, "total", len(j.specs))
+	return j.status(), nil
+}
+
+// Status returns one job's state.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("sweepd: unknown job %q", id)
+	}
+	return j.status(), nil
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Report returns a job's aggregate in sweep.Report form: outcomes in
+// input-spec order, counters with engine semantics. Unfinished specs
+// (running or resumable jobs) carry nil-error zero outcomes unless the
+// job was canceled or drained.
+func (s *Server) Report(id string) (*sweep.Report, JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, fmt.Errorf("sweepd: unknown job %q", id)
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	rep := &sweep.Report{
+		Outcomes: append([]sweep.Outcome(nil), j.outcomes...),
+		Executed: j.executed, Cached: j.cached, Failed: j.failed,
+		Elapsed: end.Sub(j.submitted),
+	}
+	return rep, j.status(), nil
+}
+
+// Events returns a job's event log from offset on, blocking until more
+// events exist, the job reaches a terminal state, or ctx is canceled.
+// It is the primitive behind the streaming endpoint; the returned state
+// tells the caller whether to keep polling.
+func (s *Server) Events(ctx context.Context, id string, offset int) ([]jobEvent, JobState, error) {
+	// Wake our cond wait when the caller gives up.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.evCond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, "", fmt.Errorf("sweepd: unknown job %q", id)
+	}
+	for len(j.events) <= offset && !j.state.terminal() && ctx.Err() == nil {
+		s.evCond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, j.state, err
+	}
+	return j.events[offset:], j.state, nil
+}
+
+// Result serves one cached result by spec hash (the content-addressed
+// artifact store every finished spec lands in).
+func (s *Server) Result(hash string) (dramlat.RunSpec, dramlat.Results, bool) {
+	return s.eng.Cache.Entry(hash)
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		State:    "ok",
+		Workers:  s.Workers(),
+		Jobs:     len(s.jobs),
+		Running:  s.running,
+		Executed: s.stats.executed, CacheHits: s.stats.cacheHits,
+		Deduped: s.stats.deduped, Failed: s.stats.failed,
+		CacheDir: s.eng.Cache.Dir(),
+	}
+	if s.draining {
+		st.State = "draining"
+	}
+	for _, t := range s.pq {
+		st.QueuedSpecs += len(t.waiters)
+	}
+	for _, j := range s.jobs {
+		if !j.state.terminal() {
+			st.ActiveJobs++
+		}
+	}
+	return st
+}
+
+// Drain performs a graceful shutdown: stop dequeuing, let in-flight
+// specs finish (their results persist to the cache), then mark every
+// unfinished job resumable — its pending specs get ErrDrained outcomes
+// and open streams terminate. New submissions are rejected from the
+// first moment. Safe to call more than once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.workCond.Broadcast()
+	s.mu.Unlock()
+	if !already {
+		s.logger.Info("draining", "in_flight", s.Stats().Running)
+	}
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state.terminal() {
+			continue
+		}
+		for i := range j.specs {
+			if !j.filled[i] {
+				j.outcomes[i].Err = ErrDrained
+				j.filled[i] = true
+				j.done++
+				j.failed++
+			}
+		}
+		j.state = JobResumable
+		j.finished = time.Now()
+		s.logger.Info("job marked resumable", "job", id,
+			"completed", j.done-j.failed, "total", len(j.specs))
+	}
+	s.evCond.Broadcast()
+}
+
+// Close hard-stops the server: cancels in-flight simulations (they
+// abort at their next watchdog check) and then drains. For tests and
+// abnormal exits; SIGTERM paths should prefer Drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.Drain()
+}

@@ -1,0 +1,421 @@
+package sweepd
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+)
+
+// stubRunner counts executions per hash and can block until released,
+// so tests control exactly when specs finish.
+type stubRunner struct {
+	mu      sync.Mutex
+	runs    map[string]int
+	order   []int64 // seeds in completion order
+	total   atomic.Int64
+	gate    chan struct{} // nil: run immediately; else: wait for release
+	failFor map[string]error
+}
+
+func newStubRunner() *stubRunner {
+	return &stubRunner{runs: map[string]int{}, failFor: map[string]error{}}
+}
+
+func (r *stubRunner) run(sp dramlat.RunSpec) (dramlat.Results, error) {
+	if r.gate != nil {
+		<-r.gate
+	}
+	h := sp.Hash()
+	r.mu.Lock()
+	r.runs[h]++
+	r.order = append(r.order, sp.Seed)
+	err := r.failFor[h]
+	r.mu.Unlock()
+	r.total.Add(1)
+	if err != nil {
+		return dramlat.Results{}, err
+	}
+	return dramlat.Results{Ticks: 1000 + sp.Seed, Instr: 10, Drained: true}, nil
+}
+
+func (r *stubRunner) count(h string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs[h]
+}
+
+func (r *stubRunner) seedOrder() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int64(nil), r.order...)
+}
+
+func specN(seed int64) dramlat.RunSpec {
+	return dramlat.RunSpec{Benchmark: "bfs", Scheduler: "gmc", Seed: seed,
+		Scale: 0.05, SMs: 2, WarpsPerSM: 4}
+}
+
+func specList(seeds ...int64) []dramlat.RunSpec {
+	out := make([]dramlat.RunSpec, len(seeds))
+	for i, s := range seeds {
+		out[i] = specN(s)
+	}
+	return out
+}
+
+func newTestServer(t *testing.T, run *stubRunner, workers int) *Server {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(&sweep.Engine{Workers: workers, Cache: cache, Runner: run.run}, nil)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// waitJob blocks until the job reaches a terminal state (the Events
+// primitive is the same path the streaming endpoint uses).
+func waitJob(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	offset := 0
+	for {
+		evs, state, err := s.Events(ctx, id, offset)
+		if err != nil {
+			t.Fatalf("events(%s): %v", id, err)
+		}
+		offset += len(evs)
+		if state.terminal() {
+			st, err := s.Status(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+	}
+}
+
+func TestSubmitRunsJobToCompletion(t *testing.T) {
+	run := newStubRunner()
+	s := newTestServer(t, run, 4)
+	st, err := s.Submit(specList(1, 2, 3, 4, 2), 0) // seed 2 duplicated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 5 || st.State != JobRunning {
+		t.Fatalf("submit status %+v", st)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.State != JobDone || fin.Done != 5 {
+		t.Fatalf("final status %+v", fin)
+	}
+	// Engine accounting: 4 unique specs executed, the in-job duplicate
+	// counts cached.
+	if fin.Executed != 4 || fin.Cached != 1 || fin.Failed != 0 {
+		t.Fatalf("counters %+v", fin)
+	}
+	if got := run.total.Load(); got != 4 {
+		t.Fatalf("runner executed %d specs, want 4", got)
+	}
+	rep, _, err := s.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outcomes in input order, duplicate marked cached.
+	for i, want := range []int64{1, 2, 3, 4, 2} {
+		if rep.Outcomes[i].Spec.Seed != want {
+			t.Fatalf("outcome %d seed %d, want %d", i, rep.Outcomes[i].Spec.Seed, want)
+		}
+		if rep.Outcomes[i].Err != nil {
+			t.Fatalf("outcome %d: %v", i, rep.Outcomes[i].Err)
+		}
+	}
+	if rep.Outcomes[4].Cached != true || rep.Outcomes[1].Cached {
+		t.Fatalf("dedup cached flags: leader %v dup %v",
+			rep.Outcomes[1].Cached, rep.Outcomes[4].Cached)
+	}
+}
+
+// TestConcurrentOverlappingJobsExecuteOnce is the acceptance check: two
+// overlapping grids submitted concurrently execute each distinct hash
+// exactly once.
+func TestConcurrentOverlappingJobsExecuteOnce(t *testing.T) {
+	run := newStubRunner()
+	run.gate = make(chan struct{})
+	s := newTestServer(t, run, 4)
+
+	a, err := s.Submit(specList(1, 2, 3, 4, 5, 6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(specList(4, 5, 6, 7, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(run.gate) // release every blocked worker at once
+	fa, fb := waitJob(t, s, a.ID), waitJob(t, s, b.ID)
+	if fa.State != JobDone || fb.State != JobDone {
+		t.Fatalf("states %v %v", fa.State, fb.State)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		if n := run.count(specN(seed).Hash()); n != 1 {
+			t.Errorf("seed %d executed %d times, want exactly 1", seed, n)
+		}
+	}
+	stats := s.Stats()
+	if stats.Executed != 8 {
+		t.Errorf("stats.Executed = %d, want 8", stats.Executed)
+	}
+	if stats.Deduped == 0 {
+		t.Error("no dedup recorded for overlapping jobs")
+	}
+	// Job B's overlap (seeds 4-6) reads as cached/deduped, not executed.
+	if fb.Executed+fb.Cached != 5 || fb.Failed != 0 {
+		t.Errorf("job B counters %+v", fb)
+	}
+}
+
+// TestResubmitFullyCacheServed: running the same specs again executes
+// nothing — every outcome is a cache hit and the stats executed counter
+// does not move.
+func TestResubmitFullyCacheServed(t *testing.T) {
+	run := newStubRunner()
+	s := newTestServer(t, run, 2)
+	st, _ := s.Submit(specList(1, 2, 3), 0)
+	waitJob(t, s, st.ID)
+	before := s.Stats()
+
+	st2, _ := s.Submit(specList(1, 2, 3), 0)
+	fin := waitJob(t, s, st2.ID)
+	if fin.Cached != 3 || fin.Executed != 0 {
+		t.Fatalf("resubmit counters %+v", fin)
+	}
+	after := s.Stats()
+	if after.Executed != before.Executed {
+		t.Fatalf("resubmit executed %d new specs", after.Executed-before.Executed)
+	}
+	if after.CacheHits != before.CacheHits+3 {
+		t.Fatalf("cache hits %d -> %d, want +3", before.CacheHits, after.CacheHits)
+	}
+	if got := run.total.Load(); got != 3 {
+		t.Fatalf("runner ran %d specs total, want 3", got)
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	run := newStubRunner()
+	run.gate = make(chan struct{})
+	s := newTestServer(t, run, 1)
+
+	// Fill the single worker with a blocked spec, then queue a low- and
+	// a high-priority job; the high one must run first.
+	first, _ := s.Submit(specList(100), 0)
+	// Wait until the worker actually claimed it.
+	for s.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	low, _ := s.Submit(specList(1), 0)
+	high, _ := s.Submit(specList(2), 10)
+
+	close(run.gate)
+	waitJob(t, s, first.ID)
+	waitJob(t, s, low.ID)
+	waitJob(t, s, high.ID)
+	order := run.seedOrder()
+	if len(order) != 3 || order[0] != 100 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("execution order %v, want [100 2 1] (high priority first)", order)
+	}
+}
+
+func TestCancelJob(t *testing.T) {
+	run := newStubRunner()
+	run.gate = make(chan struct{})
+	s := newTestServer(t, run, 1)
+
+	blocker, _ := s.Submit(specList(100), 0)
+	for s.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	victim, _ := s.Submit(specList(1, 2, 3), 0)
+	shared, _ := s.Submit(specList(3), 0) // waits on victim's seed-3 task
+
+	st, err := s.Cancel(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCanceled || st.Done != 3 || st.Failed != 3 {
+		t.Fatalf("canceled status %+v", st)
+	}
+	rep, _, _ := s.Report(victim.ID)
+	for i, o := range rep.Outcomes {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("outcome %d err %v, want context.Canceled", i, o.Err)
+		}
+	}
+	// Canceling twice is a no-op, unknown IDs error.
+	if _, err := s.Cancel(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel("job-999"); err == nil {
+		t.Fatal("cancel of unknown job succeeded")
+	}
+
+	// The shared seed-3 task survives the cancellation (another job
+	// still wants it); seeds 1-2 were dropped from the queue.
+	close(run.gate)
+	waitJob(t, s, blocker.ID)
+	fin := waitJob(t, s, shared.ID)
+	if fin.State != JobDone || fin.Failed != 0 {
+		t.Fatalf("shared job %+v", fin)
+	}
+	if n := run.count(specN(1).Hash()); n != 0 {
+		t.Errorf("canceled-only seed 1 ran %d times", n)
+	}
+	if n := run.count(specN(3).Hash()); n != 1 {
+		t.Errorf("shared seed 3 ran %d times, want 1", n)
+	}
+}
+
+// TestDrainMarksJobsResumable: drain finishes in-flight specs, persists
+// them to the cache, marks unfinished jobs resumable, and a resubmission
+// against a fresh server over the same cache serves the finished prefix
+// without re-executing.
+func TestDrainMarksJobsResumable(t *testing.T) {
+	run := newStubRunner()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.gate = make(chan struct{}, 64)
+	s := New(&sweep.Engine{Workers: 1, Cache: cache, Runner: run.run}, nil)
+
+	st, _ := s.Submit(specList(1, 2, 3), 0)
+	run.gate <- struct{}{} // let exactly one spec through
+	for {
+		if js, _ := s.Status(st.ID); js.Done >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Start draining while the worker is parked on the gate, and only
+	// then release it: draining is observed before another spec can be
+	// dequeued, so the in-flight spec finishes and the rest never run.
+	drainDone := make(chan struct{})
+	go func() { s.Drain(); close(drainDone) }()
+	for s.Stats().State != "draining" {
+		time.Sleep(time.Millisecond)
+	}
+	close(run.gate)
+	<-drainDone
+
+	fin, _ := s.Status(st.ID)
+	if fin.State != JobResumable {
+		t.Fatalf("state %v, want resumable", fin.State)
+	}
+	if fin.Done != 3 {
+		t.Fatalf("done %d after drain, want 3 (unfinished specs filled)", fin.Done)
+	}
+	rep, _, _ := s.Report(st.ID)
+	drained := 0
+	for _, o := range rep.Outcomes {
+		if errors.Is(o.Err, ErrDrained) {
+			drained++
+		}
+	}
+	if drained == 0 || drained > 2 {
+		t.Fatalf("%d drained outcomes, want 1 or 2", drained)
+	}
+	if _, err := s.Submit(specList(9), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	ranBefore := run.total.Load()
+
+	// Resume on a fresh server over the same cache: completed specs are
+	// served from disk, only the drained remainder executes.
+	s2 := New(&sweep.Engine{Workers: 1, Cache: cache, Runner: run.run}, nil)
+	defer s2.Close()
+	st2, _ := s2.Submit(specList(1, 2, 3), 0)
+	fin2 := waitJob(t, s2, st2.ID)
+	if fin2.State != JobDone || fin2.Failed != 0 {
+		t.Fatalf("resumed job %+v", fin2)
+	}
+	reran := run.total.Load() - ranBefore
+	if int(reran) != 3-int(fin2.Cached) {
+		t.Fatalf("re-ran %d specs with %d cached", reran, fin2.Cached)
+	}
+	if fin2.Cached == 0 {
+		t.Fatal("resume served nothing from the cache")
+	}
+}
+
+func TestFailedSpecDoesNotPoisonJob(t *testing.T) {
+	run := newStubRunner()
+	boom := errors.New("boom")
+	run.failFor[specN(2).Hash()] = boom
+	s := newTestServer(t, run, 2)
+	st, _ := s.Submit(specList(1, 2, 3), 0)
+	fin := waitJob(t, s, st.ID)
+	if fin.State != JobDone || fin.Failed != 1 {
+		t.Fatalf("status %+v", fin)
+	}
+	rep, _, _ := s.Report(st.ID)
+	if !errors.Is(rep.Outcomes[1].Err, boom) {
+		t.Fatalf("outcome 1 err %v", rep.Outcomes[1].Err)
+	}
+	if rep.Outcomes[0].Err != nil || rep.Outcomes[2].Err != nil {
+		t.Fatal("healthy specs affected by the failure")
+	}
+	// Failures are never cached: resubmitting re-runs the failed hash.
+	run.mu.Lock()
+	delete(run.failFor, specN(2).Hash())
+	run.mu.Unlock()
+	st2, _ := s.Submit(specList(2), 0)
+	fin2 := waitJob(t, s, st2.ID)
+	if fin2.Failed != 0 || fin2.Executed != 1 {
+		t.Fatalf("retry %+v", fin2)
+	}
+}
+
+func TestEventsReplayForLateSubscribers(t *testing.T) {
+	run := newStubRunner()
+	s := newTestServer(t, run, 2)
+	st, _ := s.Submit(specList(1, 2, 3, 4), 0)
+	waitJob(t, s, st.ID)
+
+	// Subscribe after completion: the full log replays, then the
+	// terminal state reports immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	evs, state, err := s.Events(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != JobDone || len(evs) != 4 {
+		t.Fatalf("replay: state %v, %d events", state, len(evs))
+	}
+	seen := map[int]bool{}
+	for _, e := range evs {
+		seen[e.Index] = true
+		if e.Event.Outcome.Err != nil {
+			t.Fatalf("event outcome err %v", e.Event.Outcome.Err)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("events cover %d distinct specs, want 4", len(seen))
+	}
+
+	// A canceled subscriber context returns promptly with ctx.Err.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, _, err := s.Events(cctx, st.ID, 99); !errors.Is(err, context.Canceled) {
+		t.Fatalf("events with dead ctx: %v", err)
+	}
+}

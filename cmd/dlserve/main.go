@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -34,6 +36,19 @@ import (
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "dlserve:", err)
 	os.Exit(1)
+}
+
+// withPprof mounts the net/http/pprof handlers explicitly — never via
+// DefaultServeMux, so nothing is exposed unless -pprof is set.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
 }
 
 func defaultCacheDir() string {
@@ -51,6 +66,11 @@ func main() {
 	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
 	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight specs on shutdown before aborting them")
+	traceEvents := flag.Bool("trace-events", false, "capture per-spec telemetry for every executed spec, not just jobs that request it")
+	traceCap := flag.Int("trace-cap", 0, "cap on captured events per run (0 = unlimited)")
+	sampleEvery := flag.Int64("sample-every", 0, "interval-sample cadence in ticks for captured telemetry (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+	adminAddr := flag.String("admin", "", "separate listen address for /metrics, /healthz and (with -pprof) /debug/pprof; empty serves them on -addr")
 	verbose := flag.Bool("v", false, "log every finished spec, not just job lifecycle")
 	flag.Parse()
 
@@ -64,20 +84,55 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	eng := &sweep.Engine{Workers: *workers, Cache: cache, RunTimeout: *runTimeout}
+	eng := &sweep.Engine{
+		Workers: *workers, Cache: cache, RunTimeout: *runTimeout,
+		// Artifact capture is always available: jobs opt in per submit,
+		// and -trace-events turns it on for every executed spec.
+		TelemetryDir: filepath.Join(cache.Dir(), "artifacts"),
+	}
+	if *traceEvents {
+		eng.Telemetry = dramlat.TelemetryOptions{
+			Events: true, EventCap: *traceCap, SampleEvery: *sampleEvery,
+		}
+	}
 	if *engine != "" || *shards != 0 {
 		// Engine selection is a server-side execution detail: Engine and
 		// Shards are hash-excluded (results are engine-independent), so
-		// they never arrive over the wire — apply them here instead.
-		eng.Runner = func(sp dramlat.RunSpec) (dramlat.Results, error) {
+		// they never arrive over the wire. Mutate rewrites them just
+		// before execution while keeping the engine's own runner — and
+		// with it telemetry capture — intact.
+		eng.Mutate = func(sp *dramlat.RunSpec) {
 			sp.Engine = *engine
 			sp.Shards = *shards
-			return dramlat.Run(sp)
 		}
 	}
 
 	srv := sweepd.New(eng, logger)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn && *adminAddr == "" {
+		handler = withPprof(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+
+	// The optional admin listener isolates operational surface (scrapes,
+	// probes, profiles) from the job API, e.g. to firewall them apart.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		admin := http.NewServeMux()
+		admin.Handle("GET /metrics", srv.MetricsHandler())
+		admin.HandleFunc("GET /healthz", srv.HealthzHandler)
+		var ah http.Handler = admin
+		if *pprofOn {
+			ah = withPprof(admin)
+		}
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: ah}
+		go func() {
+			logger.Info("admin listening", "addr", *adminAddr, "pprof", *pprofOn)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fail(err)
+			}
+		}()
+	}
 
 	// SIGTERM/SIGINT: stop accepting connections, drain the queue
 	// (in-flight specs finish and persist; unfinished jobs are marked
@@ -100,6 +155,9 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(sctx)
+		if adminSrv != nil {
+			adminSrv.Shutdown(sctx)
+		}
 		logger.Info("sweepd down")
 	}()
 

@@ -234,14 +234,23 @@ func main() {
 
 	specs := g.Enumerate()
 	var ex execer
+	var remote *client.Remote
 	if *server != "" {
 		// Thin-client mode: the sweep runs on a dlserve instance; its
-		// cache, worker pool and engine selection apply. Telemetry
-		// artifacts are local-only.
+		// cache, worker pool and engine selection apply. With -trace-dir
+		// the server captures telemetry and the artifacts are downloaded
+		// into the local dir after the run, byte-identical to a local
+		// capture.
+		remote = &client.Remote{BaseURL: *server, Priority: *priority, Progress: progress}
 		if *traceDir != "" {
-			fail(fmt.Errorf("-trace-dir is local-only, not available with -server"))
+			if !*traceEvents && *sampleEvery <= 0 {
+				fail(fmt.Errorf("-trace-dir needs -trace-events and/or -sample-every"))
+			}
+			remote.Telemetry = &dramlat.TelemetryOptions{
+				Events: *traceEvents, EventCap: *traceCap, SampleEvery: *sampleEvery,
+			}
 		}
-		ex = &client.Remote{BaseURL: *server, Priority: *priority, Progress: progress}
+		ex = remote
 		fmt.Fprintf(os.Stderr, "dlsweep: %d specs on %s\n", len(specs), *server)
 	} else {
 		var cache *sweep.Cache
@@ -287,6 +296,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dlsweep: interrupted — writing partial report (cached results are kept; re-run to resume)")
 	}
 	fmt.Fprintln(os.Stderr, "dlsweep:", rep.Summary())
+	if remote != nil && *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fail(err)
+		}
+		// Pull each successful spec's server-captured artifacts into the
+		// local trace dir, mirroring the server's <hash>.<name> layout.
+		seen := map[string]bool{}
+		files := 0
+		for _, o := range rep.Outcomes {
+			if o.Err != nil || seen[o.Hash] {
+				continue
+			}
+			seen[o.Hash] = true
+			paths, err := remote.DownloadArtifacts(ctx, o.Hash, *traceDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dlsweep: artifacts for %s: %v\n", o.Hash, err)
+				continue
+			}
+			files += len(paths)
+		}
+		fmt.Fprintf(os.Stderr, "dlsweep: downloaded %d artifact files into %s\n", files, *traceDir)
+	}
 	if err := pf.WriteBench(rep.Outcomes); err != nil {
 		fail(err)
 	}

@@ -37,9 +37,11 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 // Commit lands the buffered output: one os.Stdout.Write for stdout, or
-// an atomic temp-file + rename next to the destination path. Calling
-// Commit twice is an error; a writer that is never committed writes
-// nothing.
+// an atomic temp-file + rename next to the destination path, fsynced
+// so the artifact survives power loss — the file before the rename, the
+// containing directory after it (the rename itself lives in directory
+// metadata). Calling Commit twice is an error; a writer that is never
+// committed writes nothing.
 func (w *Writer) Commit() error {
 	if w.committed {
 		return fmt.Errorf("atomicio: already committed")
@@ -59,6 +61,11 @@ func (w *Writer) Commit() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("atomicio: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("atomicio: %w", err)
@@ -67,6 +74,19 @@ func (w *Writer) Commit() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("atomicio: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems reject fsync on directories; that is not a data-loss
+// condition, so only open errors are reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer d.Close()
+	d.Sync()
 	return nil
 }
 

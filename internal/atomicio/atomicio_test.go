@@ -59,6 +59,36 @@ func TestAbandonedWriterLeavesNothing(t *testing.T) {
 	}
 }
 
+func TestSyncDir(t *testing.T) {
+	// The happy path runs inside Commit already; pin the error shape for
+	// a directory that vanished between rename and sync.
+	if err := syncDir(filepath.Join(t.TempDir(), "gone")); err == nil {
+		t.Fatal("syncDir on a missing directory succeeded")
+	}
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir on a real directory: %v", err)
+	}
+}
+
+func TestCommitDurableAfterRename(t *testing.T) {
+	// Commit must fsync file and directory without erroring on a normal
+	// filesystem, and the content must be fully visible afterwards.
+	path := filepath.Join(t.TempDir(), "nested")
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dest := filepath.Join(path, "artifact.jsonl")
+	w := Create(dest)
+	w.Write([]byte("line1\nline2\n"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(dest)
+	if err != nil || string(b) != "line1\nline2\n" {
+		t.Fatalf("content %q err %v", b, err)
+	}
+}
+
 func TestCreateStdin(t *testing.T) {
 	for _, p := range []string{"-", ""} {
 		w := Create(p)

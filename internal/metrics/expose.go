@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, one
+// `# HELP` / `# TYPE` header each, children sorted by label values so
+// scrapes are deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving WritePrometheus — the
+// `GET /metrics` endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// sample is one child instrument flattened for rendering.
+type sample struct {
+	key  string // sorted-by order (joined label values)
+	vals []string
+	inst any
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+
+	var samples []sample
+	if len(f.labels) == 0 {
+		if f.single == nil {
+			return nil
+		}
+		samples = []sample{{inst: f.single}}
+	} else {
+		for i := range f.stripes {
+			st := &f.stripes[i]
+			st.mu.RLock()
+			for k, inst := range st.m {
+				samples = append(samples, sample{key: k, vals: strings.Split(k, "\x00"), inst: inst})
+			}
+			st.mu.RUnlock()
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i].key < samples[j].key })
+	}
+
+	for _, s := range samples {
+		switch inst := s.inst.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.vals, "", ""), inst.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.vals, "", ""), formatFloat(inst.Value()))
+		case *Histogram:
+			cum := uint64(0)
+			for i := range inst.counts {
+				cum += inst.counts[i].Load()
+				le := "+Inf"
+				if i < len(inst.upper) {
+					le = formatFloat(inst.upper[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.vals, "le", le), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.vals, "", ""), formatFloat(inst.Sum()))
+			// _count is the +Inf cumulative rather than a separate atomic
+			// load, so `le="+Inf"` == `_count` holds even mid-scrape under
+			// concurrent Observes.
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.vals, "", ""), cum)
+		}
+	}
+	return nil
+}
+
+// labelString renders `{k1="v1",k2="v2"}` (plus an optional extra pair,
+// used for histogram `le`), or "" when there are no labels at all.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,418 @@
+// Package metrics is a dependency-free metrics registry with Prometheus
+// text-format exposition, built for the sweep service's hot paths.
+//
+// Three instrument kinds cover the service's needs:
+//
+//   - Counter: monotonically increasing uint64 (specs executed, cache
+//     hits, HTTP requests).
+//   - Gauge: a float64 that goes up and down (queue depth, busy
+//     workers, stream subscribers).
+//   - Histogram: observations bucketed by configurable upper bounds
+//     (queue wait, spec execution latency).
+//
+// Each kind also comes as a labeled family (CounterVec, GaugeVec,
+// HistogramVec): one registered name, one child instrument per label
+// combination.
+//
+// Concurrency design: individual instruments are lock-free — counters
+// and gauges are single atomics, histogram buckets are per-bucket
+// atomic adds with a CAS loop only for the float sum — so an Inc on a
+// hot path is one uncontended atomic instruction. The only locks in
+// the package are (a) the registry's family map, taken when an
+// instrument is *created*, and (b) the label-lookup maps inside Vec
+// families, which are stripe-locked (16 RWMutex-guarded shards keyed
+// by label hash) so concurrent lookups of different label sets do not
+// serialize. Callers on hot paths should resolve Vec children once and
+// hold the child (`v := vec.With("gmc")` outside the loop); the striped
+// lookup keeps even the lazy path cheap.
+//
+// A Registry can be switched off (SetEnabled(false)): every instrument
+// mutation then returns after one atomic load, which is the "disabled"
+// cost pinned by BenchmarkCounterIncDisabled.
+package metrics
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. Library packages (internal/sweep,
+// internal/sweepd) register their instruments here so a local CLI run and
+// a dlserve instance expose the same families from the same code paths.
+var Default = NewRegistry()
+
+// DefBuckets are general-purpose latency buckets in seconds, 1ms..~32s.
+var DefBuckets = ExpBuckets(0.001, 2, 16)
+
+// ExpBuckets returns n exponentially growing bucket upper bounds
+// starting at start and multiplying by factor. It panics on a
+// non-positive start, a factor <= 1, or n < 1 — bucket layouts are
+// compile-time decisions, not runtime inputs.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry holds named instrument families. The zero value is not
+// usable; use NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	off atomic.Bool // inverted so the zero state of instruments is "on"
+
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// SetEnabled switches instrument mutations on or off. Disabled
+// instruments drop updates after one atomic load; exposition still
+// works and reports the values accumulated while enabled.
+func (r *Registry) SetEnabled(on bool) { r.off.Store(!on) }
+
+// Enabled reports whether mutations are recorded.
+func (r *Registry) Enabled() bool { return !r.off.Load() }
+
+type familyKind uint8
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// lookupStripes is the number of label-map shards per Vec family.
+const lookupStripes = 16
+
+// family is one registered metric name: either a single unlabeled
+// instrument or a labeled Vec with stripe-locked children.
+type family struct {
+	name, help string
+	kind       familyKind
+	labels     []string
+	buckets    []float64 // histograms only
+	reg        *Registry
+
+	single any // *Counter / *Gauge / *Histogram when unlabeled
+
+	stripes [lookupStripes]stripe
+}
+
+type stripe struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// register installs (or fetches) a family; a name collision with a
+// different kind or label set panics — that is a programming error, and
+// failing loud at init beats silently merging incompatible series.
+func (r *Registry) register(name, help string, kind familyKind, labels []string, buckets []float64) *family {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, reg: r}
+	if kind == kindHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	if len(labels) > 0 {
+		for i := range f.stripes {
+			f.stripes[i].m = map[string]any{}
+		}
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the instrument for one label-value combination,
+// creating it on first use. Lookup is a striped RLock; creation takes
+// the stripe's write lock.
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	st := &f.stripes[h.Sum32()%lookupStripes]
+	st.mu.RLock()
+	c, ok := st.m[key]
+	st.mu.RUnlock()
+	if ok {
+		return c
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if c, ok := st.m[key]; ok {
+		return c
+	}
+	c = make()
+	st.m[key] = c
+	return c
+}
+
+// ---------------------------------------------------------------- Counter
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	off *atomic.Bool
+	n   atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n panics).
+func (c *Counter) Add(n int64) {
+	if c == nil || c.off.Load() {
+		return
+	}
+	if n < 0 {
+		panic("metrics: counter decreased")
+	}
+	c.n.Add(uint64(n))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.single == nil {
+		f.single = &Counter{off: &r.off}
+	}
+	return f.single.(*Counter)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: CounterVec needs labels; use Counter")
+	}
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return &Counter{off: &v.f.reg.off} }).(*Counter)
+}
+
+// ---------------------------------------------------------------- Gauge
+
+// Gauge is a float64 value that can move in both directions.
+type Gauge struct {
+	off  *atomic.Bool
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.off.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increases the gauge by d (negative d decreases it).
+func (g *Gauge) Add(d float64) {
+	if g == nil || g.off.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.single == nil {
+		f.single = &Gauge{off: &r.off}
+	}
+	return f.single.(*Gauge)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("metrics: GaugeVec needs labels; use Gauge")
+	}
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{off: &v.f.reg.off} }).(*Gauge)
+}
+
+// ------------------------------------------------------------- Histogram
+
+// Histogram buckets observations by configurable upper bounds. Bucket
+// counts are per-bucket atomics (non-cumulative internally, summed at
+// exposition); the running sum is a CAS loop over float bits.
+type Histogram struct {
+	off    *atomic.Bool
+	upper  []float64 // sorted upper bounds; implicit +Inf after the last
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float bits
+	n      atomic.Uint64
+}
+
+func newHistogram(off *atomic.Bool, upper []float64) *Histogram {
+	return &Histogram{off: off, upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.off.Load() {
+		return
+	}
+	// Binary search for the first bucket whose bound is >= v.
+	lo, hi := 0, len(h.upper)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.upper[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Histogram registers (or fetches) an unlabeled histogram; nil buckets
+// mean DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.single == nil {
+		f.single = newHistogram(&r.off, f.buckets)
+	}
+	return f.single.(*Histogram)
+}
+
+// HistogramVec is a labeled histogram family; all children share the
+// family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family; nil
+// buckets mean DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: HistogramVec needs labels; use Histogram")
+	}
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() any { return newHistogram(&v.f.reg.off, v.f.buckets) }).(*Histogram)
+}

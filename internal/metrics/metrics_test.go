@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"bufio"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Re-registering the same name returns the same instrument.
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("re-register returned a new counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+}
+
+func TestVecChildrenAreDistinctAndStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("specs_total", "by kind", "kind")
+	v.With("ok").Add(3)
+	v.With("failed").Inc()
+	if v.With("ok").Value() != 3 || v.With("failed").Value() != 1 {
+		t.Fatalf("children ok=%d failed=%d", v.With("ok").Value(), v.With("failed").Value())
+	}
+	if v.With("ok") != v.With("ok") {
+		t.Fatal("With not stable")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5556.5 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// Bucket upper bounds are inclusive: 1 lands in le="1".
+	want := []uint64{2, 1, 1, 2} // (-inf,1] (1,10] (10,100] (100,+inf)
+	for i, n := range want {
+		if got := h.counts[i].Load(); got != n {
+			t.Fatalf("bucket %d = %d, want %d", i, got, n)
+		}
+	}
+}
+
+func TestDisabledRegistryDropsUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{1})
+	g := r.Gauge("g", "")
+	c.Inc()
+	r.SetEnabled(false)
+	c.Inc()
+	g.Set(7)
+	h.Observe(1)
+	if c.Value() != 1 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded updates: c=%d g=%v h=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 2 {
+		t.Fatalf("re-enabled counter = %d", c.Value())
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments not zero")
+	}
+}
+
+func TestRegisterKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind collision")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestWritePrometheusGolden pins the exact exposition bytes: family
+// ordering, HELP/TYPE headers, label rendering, cumulative histogram
+// buckets with +Inf, label escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dl_b_total", "second family").Add(7)
+	v := r.CounterVec("dl_c_total", "by kind", "kind")
+	v.With("ok").Add(3)
+	v.With("failed").Inc()
+	r.Gauge("dl_a_depth", "queue depth").Set(2.5)
+	h := r.HistogramVec("dl_d_seconds", "latency", []float64{0.1, 1}, "sched")
+	h.With("gmc").Observe(0.05)
+	h.With("gmc").Observe(0.5)
+	h.With("gmc").Observe(50)
+	r.CounterVec("dl_e_total", `esc`, "path").With(`a"b\c`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dl_a_depth queue depth
+# TYPE dl_a_depth gauge
+dl_a_depth 2.5
+# HELP dl_b_total second family
+# TYPE dl_b_total counter
+dl_b_total 7
+# HELP dl_c_total by kind
+# TYPE dl_c_total counter
+dl_c_total{kind="failed"} 1
+dl_c_total{kind="ok"} 3
+# HELP dl_d_seconds latency
+# TYPE dl_d_seconds histogram
+dl_d_seconds_bucket{sched="gmc",le="0.1"} 1
+dl_d_seconds_bucket{sched="gmc",le="1"} 2
+dl_d_seconds_bucket{sched="gmc",le="+Inf"} 3
+dl_d_seconds_sum{sched="gmc"} 50.55
+dl_d_seconds_count{sched="gmc"} 3
+# HELP dl_e_total esc
+# TYPE dl_e_total counter
+dl_e_total{path="a\"b\\c"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentHammer races many writers against scrapes; run under
+// -race in CI. It also checks that no update is lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	v := r.CounterVec("hammer_kind_total", "", "kind")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.HistogramVec("hammer_seconds", "", []float64{0.5}, "who")
+	kinds := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v.With(kinds[(w+i)%len(kinds)]).Inc()
+				g.Add(1)
+				h.With(kinds[w%len(kinds)]).Observe(float64(i%2) * 0.9)
+			}
+		}(w)
+	}
+	// Concurrent scrapes while the writers run.
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	var sum uint64
+	for _, k := range kinds {
+		sum += v.With(k).Value()
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("vec sum = %d, want %d", sum, workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+	var hn uint64
+	for _, k := range kinds {
+		hn += h.With(k).Count()
+	}
+	if hn != workers*perWorker {
+		t.Fatalf("histogram observations = %d, want %d", hn, workers*perWorker)
+	}
+}
+
+// TestExpositionParses runs a minimal text-format parser over a scrape
+// of every instrument kind — the same checks the CI service job applies
+// to a live /metrics endpoint.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p_total", "x").Inc()
+	r.Gauge("p_g", "x").Set(1)
+	r.Histogram("p_h", "x", nil).Observe(0.2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value — exactly two space-separated fields.
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	r.SetEnabled(false)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", nil)
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0003
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.1
+			if v > 40 {
+				v = 0.0003
+			}
+		}
+	})
+}
+
+func BenchmarkVecLookupObserve(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_kind_total", "", "kind")
+	kinds := []string{"ok", "cached", "failed", "stalled"}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			v.With(kinds[i%len(kinds)]).Inc()
+			i++
+		}
+	})
+}

@@ -100,28 +100,33 @@ func (c *Cache) Get(spec dramlat.RunSpec) (dramlat.Results, bool) {
 // behind "fetch result by spec hash" service endpoints, so the hash is
 // validated strictly (64 lowercase hex chars) before it touches a path.
 func (c *Cache) Entry(hash string) (dramlat.RunSpec, dramlat.Results, bool) {
-	if c == nil || !validHash(hash) {
+	if c == nil || !ValidHash(hash) {
 		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
 	path := c.path(hash)
 	b, err := os.ReadFile(path)
 	if err != nil {
+		mCacheMisses.Inc()
 		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil {
 		c.quarantine(path)
+		mCacheMisses.Inc()
 		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
 	if e.Checksum != checksum(e.Spec, e.Results) {
 		c.quarantine(path)
+		mCacheMisses.Inc()
 		return dramlat.RunSpec{}, dramlat.Results{}, false
 	}
+	mCacheHits.Inc()
 	return e.Spec, e.Results, true
 }
 
-// validHash reports whether s looks like a RunSpec.Hash (hex SHA-256).
-func validHash(s string) bool {
+// ValidHash reports whether s looks like a RunSpec.Hash (hex SHA-256).
+// Service endpoints use it to fence path-building on untrusted hashes.
+func ValidHash(s string) bool {
 	if len(s) != 64 {
 		return false
 	}
@@ -137,6 +142,7 @@ func validHash(s string) bool {
 // quarantine moves a bad entry aside (best-effort; removed on rename
 // failure) so it stops shadowing the slot but stays inspectable.
 func (c *Cache) quarantine(path string) {
+	mCacheQuarantined.Inc()
 	if err := os.Rename(path, path+".corrupt"); err != nil {
 		os.Remove(path)
 	}
@@ -181,6 +187,7 @@ func (c *Cache) Put(spec dramlat.RunSpec, res dramlat.Results) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache rename: %w", err)
 	}
+	mCachePuts.Inc()
 	return nil
 }
 

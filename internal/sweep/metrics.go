@@ -1,0 +1,56 @@
+package sweep
+
+import (
+	"time"
+
+	"dramlat"
+	"dramlat/internal/metrics"
+)
+
+// The sweep engine and cache publish their counters on metrics.Default,
+// so a local dlsweep/dlbench run and a dlserve instance expose the same
+// families from the same code paths — the service's /metrics endpoint
+// is just an exposition of what the engine already counts. All hooks
+// are per-spec (a spec run costs milliseconds; a counter increment
+// costs nanoseconds — see BenchmarkEngineMetricsOverhead), never
+// per-simulated-tick.
+var (
+	mSpecsExecuted = metrics.Default.Counter("dramlat_sweep_specs_executed_total",
+		"Specs actually simulated (cache misses that ran).")
+	mSpecsCached = metrics.Default.Counter("dramlat_sweep_specs_cached_total",
+		"Specs served from the persistent cache or a deduplicated leader run.")
+	mSpecsFailed = metrics.Default.Counter("dramlat_sweep_specs_failed_total",
+		"Specs whose runner returned an error.")
+	mSpecSeconds = metrics.Default.HistogramVec("dramlat_sweep_spec_seconds",
+		"Wall-clock execution latency of freshly simulated specs.",
+		nil, "scheduler")
+
+	mCacheHits = metrics.Default.Counter("dramlat_cache_hits_total",
+		"Result-cache lookups served from disk.")
+	mCacheMisses = metrics.Default.Counter("dramlat_cache_misses_total",
+		"Result-cache lookups that found no verified entry.")
+	mCachePuts = metrics.Default.Counter("dramlat_cache_puts_total",
+		"Result-cache entries written.")
+	mCacheQuarantined = metrics.Default.Counter("dramlat_cache_quarantined_total",
+		"Cache entries quarantined for parse or checksum failures.")
+)
+
+// observeOutcome mirrors one spec outcome (plus followers deduplicated
+// onto it) into the default registry with exactly the Report counter
+// semantics: followers of a successful leader count as cached, so
+// executed + cached reconciles with the report totals.
+func observeOutcome(spec dramlat.RunSpec, err error, cached bool, elapsed time.Duration, followers int) {
+	n := 1 + followers
+	if err != nil {
+		mSpecsFailed.Add(int64(n))
+	}
+	if cached {
+		mSpecsCached.Add(int64(n))
+		return
+	}
+	mSpecsExecuted.Inc()
+	mSpecSeconds.With(spec.Canonical().Scheduler).Observe(elapsed.Seconds())
+	if err == nil {
+		mSpecsCached.Add(int64(followers))
+	}
+}

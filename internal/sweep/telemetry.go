@@ -9,11 +9,15 @@ import (
 	"dramlat/internal/telemetry"
 )
 
-// telemetryRunner executes one spec with the engine's telemetry options
-// applied and writes the artifacts before returning, so a sweep's traces
-// are complete as soon as the Progress event for the spec fires.
+// telemetryRunner executes one spec with telemetry enabled and writes
+// the artifacts before returning, so a sweep's traces are complete as
+// soon as the Progress event for the spec fires. A spec carrying its
+// own Telemetry options (a per-job sweepd request) keeps them; specs
+// without fall back to the engine-level options.
 func (e *Engine) telemetryRunner(spec dramlat.RunSpec) (dramlat.Results, error) {
-	spec.Telemetry = e.Telemetry
+	if !spec.Telemetry.Enabled() {
+		spec.Telemetry = e.Telemetry
+	}
 	res, tel, err := dramlat.RunTelemetry(spec)
 	if tel != nil {
 		// A MaxTicks run still has a (partial) trace worth keeping.

@@ -1,0 +1,87 @@
+package sweepd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dramlat/internal/sweep"
+)
+
+// Telemetry artifacts are the per-run observability bundle PR 2's local
+// sweeps write (event JSONL, interval CSVs); the service captures them
+// for jobs that request telemetry and serves them back content-addressed
+// by spec hash, so remote straggler/histogram analysis (dlprof -server)
+// reads byte-identical files to a local run. On disk they use
+// sweep.WriteArtifacts' layout — <dir>/<hash>.<name> — and over the API
+// they are listed and fetched by bare name ("events.jsonl").
+
+// ArtifactNames are the artifact files one run can produce, in serving
+// order. The allowlist doubles as path-traversal fencing: only these
+// exact names are ever joined onto the artifact dir.
+var ArtifactNames = []string{"events.jsonl", "channels.csv", "sms.csv"}
+
+// ArtifactInfo describes one stored artifact of a spec.
+type ArtifactInfo struct {
+	Name string `json:"name"` // e.g. "events.jsonl"
+	Size int64  `json:"size"`
+}
+
+// ErrNoArtifacts reports a hash with no stored artifacts (never
+// captured, or the server runs without an artifact dir).
+var ErrNoArtifacts = fmt.Errorf("sweepd: no artifacts for this spec")
+
+// ArtifactDir returns the server-side artifact root ("" when capture is
+// disabled).
+func (s *Server) ArtifactDir() string { return s.eng.TelemetryDir }
+
+// Artifacts lists the stored artifacts for one spec hash.
+func (s *Server) Artifacts(hash string) ([]ArtifactInfo, error) {
+	if !sweep.ValidHash(hash) {
+		return nil, fmt.Errorf("sweepd: invalid spec hash %q", hash)
+	}
+	dir := s.eng.TelemetryDir
+	if dir == "" {
+		return nil, ErrNoArtifacts
+	}
+	var out []ArtifactInfo
+	for _, name := range ArtifactNames {
+		fi, err := os.Stat(filepath.Join(dir, hash+"."+name))
+		if err != nil {
+			continue
+		}
+		out = append(out, ArtifactInfo{Name: name, Size: fi.Size()})
+	}
+	if len(out) == 0 {
+		return nil, ErrNoArtifacts
+	}
+	return out, nil
+}
+
+// ArtifactPath resolves one artifact to its on-disk path, validating
+// both the hash (strict hex) and the name (allowlist) before any path
+// is built. The file is stat'd, so a returned path exists at return
+// time.
+func (s *Server) ArtifactPath(hash, name string) (string, error) {
+	if !sweep.ValidHash(hash) {
+		return "", fmt.Errorf("sweepd: invalid spec hash %q", hash)
+	}
+	ok := false
+	for _, n := range ArtifactNames {
+		if n == name {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return "", fmt.Errorf("sweepd: unknown artifact %q (want one of %v)", name, ArtifactNames)
+	}
+	if s.eng.TelemetryDir == "" {
+		return "", ErrNoArtifacts
+	}
+	path := filepath.Join(s.eng.TelemetryDir, hash+"."+name)
+	if _, err := os.Stat(path); err != nil {
+		return "", ErrNoArtifacts
+	}
+	return path, nil
+}

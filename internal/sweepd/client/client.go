@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"dramlat"
+	"dramlat/internal/atomicio"
 	"dramlat/internal/sweep"
 	"dramlat/internal/sweepd"
 )
@@ -30,6 +32,11 @@ type Remote struct {
 	HTTP *http.Client
 	// Priority rides along with every submitted job.
 	Priority int
+	// Telemetry, when non-nil, asks the server to capture per-spec
+	// telemetry artifacts for jobs submitted through RunContext /
+	// RunOneContext; fetch them afterwards with Artifacts / Artifact.
+	// Requires a server running with an artifact dir.
+	Telemetry *dramlat.TelemetryOptions
 	// Progress, when non-nil, receives one event per streamed outcome
 	// during RunContext, never concurrently — the same contract as
 	// sweep.Engine.Progress.
@@ -154,6 +161,63 @@ func (r *Remote) Result(ctx context.Context, hash string) (dramlat.RunSpec, dram
 	return body.Spec, body.Results, nil
 }
 
+// Artifacts lists the telemetry artifacts stored for one spec hash.
+func (r *Remote) Artifacts(ctx context.Context, hash string) ([]sweepd.ArtifactInfo, error) {
+	var body sweepd.ArtifactsResponse
+	if err := r.do(ctx, http.MethodGet, "/results/"+hash+"/artifacts", nil, &body); err != nil {
+		return nil, err
+	}
+	return body.Artifacts, nil
+}
+
+// Artifact streams one telemetry artifact ("events.jsonl",
+// "channels.csv", "sms.csv"). The returned reader yields exactly the
+// bytes of the server-side file; the caller must Close it.
+func (r *Remote) Artifact(ctx context.Context, hash, name string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		r.url("/results/"+hash+"/artifacts/"+name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return resp.Body, nil
+}
+
+// DownloadArtifacts fetches every stored artifact of a spec into dir
+// using the server's own layout (<dir>/<hash>.<name>), committing each
+// file atomically. It returns the written paths; a hash with no
+// artifacts is an error.
+func (r *Remote) DownloadArtifacts(ctx context.Context, hash, dir string) ([]string, error) {
+	arts, err := r.Artifacts(ctx, hash)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, art := range arts {
+		rc, err := r.Artifact(ctx, hash, art.Name)
+		if err != nil {
+			return paths, err
+		}
+		w := atomicio.Create(filepath.Join(dir, hash+"."+art.Name))
+		_, err = io.Copy(w, rc)
+		rc.Close()
+		if err != nil {
+			return paths, fmt.Errorf("sweepd client: fetch artifact %s: %w", art.Name, err)
+		}
+		if err := w.Commit(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, filepath.Join(dir, hash+"."+art.Name))
+	}
+	return paths, nil
+}
+
 // Health fetches the server stats. A draining server answers (with
 // State "draining"), so this doubles as the liveness probe.
 func (r *Remote) Health(ctx context.Context) (sweepd.Stats, error) {
@@ -244,7 +308,7 @@ func (r *Remote) runContext(ctx context.Context, specs []dramlat.RunSpec) (*swee
 		return &sweep.Report{}, nil
 	}
 	start := time.Now()
-	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: specs})
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: specs, Telemetry: r.Telemetry})
 	if err != nil {
 		return nil, err
 	}

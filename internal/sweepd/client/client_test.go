@@ -1,10 +1,14 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -199,3 +203,65 @@ func TestCancelOverHTTP(t *testing.T) {
 }
 
 func ptr[T any](v T) *T { return &v }
+
+// TestRemoteTelemetryArtifacts drives the whole remote-capture loop: a
+// Remote with Telemetry set submits a real (tiny) simulation, the
+// server captures artifacts, and DownloadArtifacts lands byte-identical
+// copies locally under the server's <hash>.<name> layout.
+func TestRemoteTelemetryArtifacts(t *testing.T) {
+	artDir := t.TempDir()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sweepd.New(&sweep.Engine{Workers: 1, Cache: cache, TelemetryDir: artDir}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	r := &Remote{BaseURL: ts.URL, HTTP: ts.Client(),
+		Telemetry: &dramlat.TelemetryOptions{Events: true, SampleEvery: 200}}
+
+	spec := dramlat.RunSpec{
+		Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.05, SMs: 2, WarpsPerSM: 4,
+	}
+	rep := r.RunContext(context.Background(), []dramlat.RunSpec{spec})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	hash := spec.Hash()
+	arts, err := r.Artifacts(context.Background(), hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 3 {
+		t.Fatalf("artifacts %+v, want events.jsonl + both CSVs", arts)
+	}
+
+	dest := t.TempDir()
+	paths, err := r.DownloadArtifacts(context.Background(), hash, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("downloaded %v, want 3 files", paths)
+	}
+	for _, p := range paths {
+		local, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := os.ReadFile(filepath.Join(artDir, filepath.Base(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(local, remote) {
+			t.Errorf("%s differs from server-side copy", filepath.Base(p))
+		}
+	}
+
+	// Unknown hash: typed not-found error, no files written.
+	if _, err := r.DownloadArtifacts(context.Background(),
+		strings.Repeat("ab", 32), t.TempDir()); err == nil {
+		t.Fatal("DownloadArtifacts for unknown hash succeeded")
+	}
+}

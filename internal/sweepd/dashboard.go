@@ -1,0 +1,138 @@
+package sweepd
+
+import "net/http"
+
+// handleDashboard serves the zero-dependency live status page: plain
+// HTML + inline JS, no build step, no external assets. It polls
+// /api/v1/health and /api/v1/jobs on a short interval and attaches an
+// EventSource (the SSE flavor of the existing /jobs/{id}/stream
+// endpoint — the browser's Accept header selects it) to every running
+// job, so per-outcome progress lands live without a custom push
+// channel.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Write([]byte(dashboardHTML))
+}
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>dlserve dashboard</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }
+  h1 { font-size: 1.2rem; } h1 small { font-weight: normal; opacity: .6; }
+  .tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+  .tile { border: 1px solid color-mix(in srgb, currentColor 25%, transparent); border-radius: .5rem; padding: .5rem .9rem; min-width: 7.5rem; }
+  .tile b { display: block; font-size: 1.3rem; font-variant-numeric: tabular-nums; }
+  .tile span { font-size: .78rem; opacity: .65; text-transform: uppercase; letter-spacing: .04em; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .35rem .6rem; border-bottom: 1px solid color-mix(in srgb, currentColor 15%, transparent); font-variant-numeric: tabular-nums; }
+  th { font-size: .78rem; text-transform: uppercase; letter-spacing: .04em; opacity: .65; }
+  .bar { background: color-mix(in srgb, currentColor 12%, transparent); border-radius: .25rem; overflow: hidden; width: 10rem; height: .6rem; }
+  .bar i { display: block; height: 100%; background: #4c8dd6; }
+  .state-running { color: #4c8dd6; } .state-done { color: #3a9b57; }
+  .state-canceled, .state-resumable { color: #c98a2b; }
+  .ok { color: #3a9b57; } .cached { color: #4c8dd6; } .failed { color: #c94f4f; }
+  #err { color: #c94f4f; min-height: 1.2em; }
+</style>
+</head>
+<body>
+<h1>dlserve <small id="meta">connecting…</small></h1>
+<div class="tiles">
+  <div class="tile"><b id="t-state">–</b><span>state</span></div>
+  <div class="tile"><b id="t-workers">–</b><span>workers busy/total</span></div>
+  <div class="tile"><b id="t-queued">–</b><span>queued specs</span></div>
+  <div class="tile"><b id="t-active">–</b><span>active jobs</span></div>
+  <div class="tile"><b id="t-exec">–</b><span>executed</span></div>
+  <div class="tile"><b id="t-hit">–</b><span>cache hit rate</span></div>
+</div>
+<div id="err"></div>
+<table>
+  <thead><tr>
+    <th>job</th><th>state</th><th>prio</th><th>progress</th>
+    <th>ok / cached / failed</th><th>elapsed</th>
+  </tr></thead>
+  <tbody id="jobs"></tbody>
+</table>
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+const streams = new Map();   // job id -> EventSource
+const live = new Map();      // job id -> latest stream counters
+
+function fmtMS(ms) {
+  if (ms < 1000) return ms + "ms";
+  if (ms < 120000) return (ms / 1000).toFixed(1) + "s";
+  return Math.round(ms / 60000) + "m";
+}
+
+function attach(job) {
+  if (streams.has(job.id) || job.state !== "running") return;
+  // EventSource sends Accept: text/event-stream, which flips the
+  // existing stream endpoint into SSE mode.
+  const es = new EventSource("/api/v1/jobs/" + job.id + "/stream");
+  streams.set(job.id, es);
+  es.onmessage = e => {
+    const ev = JSON.parse(e.data);
+    live.set(job.id, ev);
+    render();
+    if (ev.state) { es.close(); streams.delete(job.id); refresh(); }
+  };
+  es.onerror = () => { es.close(); streams.delete(job.id); };
+}
+
+let jobs = [];
+function render() {
+  const rows = jobs.map(j => {
+    const ev = live.get(j.id);
+    const done = ev ? ev.done : j.done, total = j.total;
+    const executed = ev ? ev.executed : j.executed;
+    const cached = ev ? ev.cached : j.cached;
+    const failed = ev ? ev.failed : j.failed;
+    const pct = total ? Math.round(100 * done / total) : 0;
+    return "<tr><td>" + j.id + "</td>" +
+      '<td class="state-' + j.state + '">' + j.state + "</td>" +
+      "<td>" + (j.priority || 0) + "</td>" +
+      '<td><div class="bar"><i style="width:' + pct + '%"></i></div> ' +
+        done + "/" + total + "</td>" +
+      '<td><span class="ok">' + (executed - failed >= 0 ? executed : 0) + "</span> / " +
+        '<span class="cached">' + cached + "</span> / " +
+        '<span class="failed">' + failed + "</span></td>" +
+      "<td>" + fmtMS(j.elapsed_ms) + "</td></tr>";
+  });
+  $("jobs").innerHTML = rows.join("");
+}
+
+async function refresh() {
+  try {
+    const [h, js] = await Promise.all([
+      fetch("/api/v1/health").then(r => r.json()),
+      fetch("/api/v1/jobs").then(r => r.json()),
+    ]);
+    jobs = (js || []).slice().reverse(); // newest first
+    $("t-state").textContent = h.state;
+    $("t-workers").textContent = h.running + "/" + h.workers;
+    $("t-queued").textContent = h.queued_specs;
+    $("t-active").textContent = h.active_jobs;
+    $("t-exec").textContent = h.executed;
+    const lookups = h.executed + h.cache_hits;
+    $("t-hit").textContent = lookups ? Math.round(100 * h.cache_hits / lookups) + "%" : "–";
+    $("meta").textContent = (h.version || "dev") +
+      (h.revision ? " @ " + h.revision.slice(0, 10) : "") +
+      " · up " + fmtMS(h.uptime_ms) + " · cache " + (h.cache_dir || "off");
+    $("err").textContent = "";
+    jobs.forEach(attach);
+    render();
+  } catch (e) {
+    $("err").textContent = "refresh failed: " + e;
+  }
+}
+refresh();
+setInterval(refresh, 2500);
+</script>
+</body>
+</html>
+`

@@ -1,11 +1,16 @@
 package sweepd
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"dramlat"
 	"dramlat/internal/sweep"
@@ -13,14 +18,26 @@ import (
 
 // The HTTP surface, all under /api/v1:
 //
-//	POST   /jobs                submit a grid and/or spec list -> job ID
-//	GET    /jobs                list jobs
-//	GET    /jobs/{id}           one job's status
-//	GET    /jobs/{id}/stream    live progress, NDJSON (or SSE via Accept)
-//	GET    /jobs/{id}/report    full report: outcomes in input order
-//	POST   /jobs/{id}/cancel    cancel (DELETE /jobs/{id} is an alias)
-//	GET    /results/{hash}      one cached result by spec content hash
-//	GET    /health              stats / liveness
+//	POST   /jobs                         submit a grid and/or spec list -> job ID
+//	GET    /jobs                         list jobs
+//	GET    /jobs/{id}                    one job's status
+//	GET    /jobs/{id}/stream             live progress, NDJSON (or SSE via Accept)
+//	GET    /jobs/{id}/report             full report: outcomes in input order
+//	POST   /jobs/{id}/cancel             cancel (DELETE /jobs/{id} is an alias)
+//	GET    /results/{hash}               one cached result by spec content hash
+//	GET    /results/{hash}/artifacts     list telemetry artifacts for a spec
+//	GET    /results/{hash}/artifacts/{name}  fetch one artifact verbatim
+//	GET    /health                       stats / liveness
+//	GET    /dashboard                    live single-page status view (SSE-fed)
+//
+// plus two root-level operational endpoints:
+//
+//	GET /metrics   Prometheus text exposition of the service registry
+//	GET /healthz   alias of /api/v1/health (build info, uptime, stats)
+//
+// Every handler runs behind the request-ID middleware: the response
+// carries X-Request-ID (generated, or propagated from the request) and
+// each request is access-logged with method, path, status and duration.
 //
 // Failures are JSON {"error": ..., "fields": [...]}, with validation
 // problems carried field by field so a client fixes a bad grid in one
@@ -29,11 +46,16 @@ import (
 // SubmitRequest is the POST /jobs body. Grid, when present, is
 // enumerated first; Specs are appended verbatim after (matching
 // sweep.Grid.Extra semantics). Priority orders jobs in the queue
-// (higher first; equal priorities are FIFO).
+// (higher first; equal priorities are FIFO). Telemetry, when present
+// and enabling a subsystem, asks the server to capture per-spec
+// artifacts for every freshly executed spec of this job (the
+// RunSpec.Telemetry field itself never travels: it is hash-excluded and
+// JSON-suppressed, so the job-level request is the wire surface).
 type SubmitRequest struct {
-	Grid     *sweep.Grid       `json:"grid,omitempty"`
-	Specs    []dramlat.RunSpec `json:"specs,omitempty"`
-	Priority int               `json:"priority,omitempty"`
+	Grid      *sweep.Grid               `json:"grid,omitempty"`
+	Specs     []dramlat.RunSpec         `json:"specs,omitempty"`
+	Priority  int                       `json:"priority,omitempty"`
+	Telemetry *dramlat.TelemetryOptions `json:"telemetry,omitempty"`
 }
 
 // StreamEvent is one NDJSON line (or SSE data payload) of a progress
@@ -72,7 +94,8 @@ type errorBody struct {
 	Fields []dramlat.FieldError `json:"fields,omitempty"`
 }
 
-// Handler returns the service's HTTP API.
+// Handler returns the service's HTTP API, wrapped in the request-ID /
+// access-log middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -83,9 +106,84 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /api/v1/results/{hash}/artifacts", s.handleArtifacts)
+	mux.HandleFunc("GET /api/v1/results/{hash}/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("GET /api/v1/health", s.handleHealth)
-	return mux
+	mux.HandleFunc("GET /api/v1/dashboard", s.handleDashboard)
+	mux.Handle("GET /metrics", s.m.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s.withRequestLog(mux)
 }
+
+// MetricsHandler exposes just the /metrics scrape endpoint, for
+// mounting on a separate admin listener.
+func (s *Server) MetricsHandler() http.Handler { return s.m.reg.Handler() }
+
+// HealthzHandler exposes just the health probe, for mounting on a
+// separate admin listener.
+func (s *Server) HealthzHandler(w http.ResponseWriter, r *http.Request) {
+	s.handleHealth(w, r)
+}
+
+// withRequestLog is the outermost middleware: it assigns (or
+// propagates) X-Request-ID, captures the response status, counts the
+// request in the HTTP metric families, and emits one structured access
+// log line per request. Streaming endpoints flush through it — the
+// recorder forwards Flush — and /metrics & health probes log at Debug
+// so scrapes do not drown the job lifecycle log.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		s.m.httpRequests.With(r.Method, strconv.Itoa(rec.status)).Inc()
+		s.m.httpSeconds.Observe(elapsed.Seconds())
+		level := slog.LevelInfo
+		switch r.URL.Path {
+		case "/metrics", "/healthz", "/api/v1/health":
+			level = slog.LevelDebug
+		}
+		s.logger.Log(r.Context(), level, "http",
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"ms", elapsed.Milliseconds(), "request_id", id)
+	})
+}
+
+// newRequestID returns 16 hex chars of crypto randomness.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code written by a handler while
+// keeping http.Flusher working for the streaming endpoints.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController pass-through.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -125,7 +223,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		specs = req.Grid.Enumerate()
 	}
 	specs = append(specs, req.Specs...)
-	st, err := s.Submit(specs, req.Priority)
+	opts := JobOptions{Priority: req.Priority}
+	if req.Telemetry != nil {
+		opts.Telemetry = *req.Telemetry
+	}
+	st, err := s.SubmitJob(specs, opts)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrDraining) {
@@ -178,6 +280,35 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ResultResponse{Hash: hash, Spec: spec, Results: res})
 }
 
+// ArtifactsResponse is the GET /results/{hash}/artifacts body.
+type ArtifactsResponse struct {
+	Hash      string         `json:"hash"`
+	Artifacts []ArtifactInfo `json:"artifacts"`
+}
+
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	arts, err := s.Artifacts(hash)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ArtifactsResponse{Hash: hash, Artifacts: arts})
+}
+
+// handleArtifact serves one artifact file verbatim, so a remote fetch
+// is byte-identical to reading the server-side file — the contract
+// dlprof -server depends on.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	path, err := s.ArtifactPath(r.PathValue("hash"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, path)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	code := http.StatusOK
@@ -199,6 +330,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	s.m.streamSubs.Inc()
+	defer s.m.streamSubs.Dec()
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")

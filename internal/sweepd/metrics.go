@@ -1,0 +1,78 @@
+package sweepd
+
+import (
+	"dramlat/internal/metrics"
+)
+
+// serverMetrics is the service-level instrument set, registered on one
+// registry (metrics.Default in production, a fresh registry in tests so
+// counters start from zero). The engine- and cache-level families
+// (dramlat_sweep_*, dramlat_cache_*) live on metrics.Default regardless
+// — see internal/sweep/metrics.go — so a default-registry server
+// exposes the whole stack from one /metrics scrape.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// Queue: unique spec hashes waiting for a worker, (job, spec)
+	// waiter pairs behind them, and how long claims sat queued.
+	queueDepth   *metrics.Gauge
+	queueWaiters *metrics.Gauge
+	queueWait    *metrics.HistogramVec // seconds, by priority
+
+	// Worker pool.
+	workers     *metrics.Gauge
+	workersBusy *metrics.Gauge
+
+	// Jobs and spec outcomes.
+	jobsSubmitted *metrics.Counter
+	jobsFinished  *metrics.CounterVec // by terminal state
+	specOutcomes  *metrics.CounterVec // by sweep.OutcomeKind
+	execSeconds   *metrics.HistogramVec
+
+	// Streaming and shutdown.
+	streamSubs   *metrics.Gauge
+	draining     *metrics.Gauge
+	drainPending *metrics.Gauge
+
+	// HTTP surface (populated by the request middleware).
+	httpRequests *metrics.CounterVec // method, code
+	httpSeconds  *metrics.Histogram
+}
+
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	// Queue-wait buckets reach further than execution latency: a spec
+	// can sit behind a long sweep for minutes.
+	waitBuckets := metrics.ExpBuckets(0.001, 4, 12) // 1ms .. ~4200s
+	return &serverMetrics{
+		reg: reg,
+		queueDepth: reg.Gauge("dramlat_sweepd_queue_depth",
+			"Unique spec hashes queued and not yet claimed by a worker."),
+		queueWaiters: reg.Gauge("dramlat_sweepd_queue_waiters",
+			"(job, spec) pairs waiting on queued or in-flight tasks."),
+		queueWait: reg.HistogramVec("dramlat_sweepd_queue_wait_seconds",
+			"Time from task enqueue to worker claim.", waitBuckets, "priority"),
+		workers: reg.Gauge("dramlat_sweepd_workers",
+			"Size of the simulation worker pool."),
+		workersBusy: reg.Gauge("dramlat_sweepd_workers_busy",
+			"Workers currently executing a spec."),
+		jobsSubmitted: reg.Counter("dramlat_sweepd_jobs_submitted_total",
+			"Jobs accepted by Submit."),
+		jobsFinished: reg.CounterVec("dramlat_sweepd_jobs_total",
+			"Jobs that reached a terminal state.", "state"),
+		specOutcomes: reg.CounterVec("dramlat_sweepd_spec_outcomes_total",
+			"Spec outcomes delivered to jobs, by outcome kind; for a clean job, ok + cached equals the job's total specs.", "kind"),
+		execSeconds: reg.HistogramVec("dramlat_sweepd_exec_seconds",
+			"Execution latency of specs freshly simulated by this server.",
+			nil, "scheduler"),
+		streamSubs: reg.Gauge("dramlat_sweepd_stream_subscribers",
+			"Open progress-stream connections."),
+		draining: reg.Gauge("dramlat_sweepd_draining",
+			"1 while a graceful drain is in progress, else 0."),
+		drainPending: reg.Gauge("dramlat_sweepd_drain_pending_specs",
+			"In-flight specs a drain is still waiting on."),
+		httpRequests: reg.CounterVec("dramlat_sweepd_http_requests_total",
+			"HTTP requests served, by method and status code.", "method", "code"),
+		httpSeconds: reg.Histogram("dramlat_sweepd_http_seconds",
+			"HTTP request service time.", nil),
+	}
+}

@@ -1,0 +1,369 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dramlat"
+	"dramlat/internal/metrics"
+	"dramlat/internal/sweep"
+)
+
+// scrapeMetrics fetches GET /metrics and returns every sample as
+// series -> value, keyed by the full series string ("name" or
+// "name{label="v"}") exactly as exposed.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content-type %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsReconcileWithReport pins the acceptance criterion: after a
+// mix of fresh and cache-served jobs, the /metrics outcome counters
+// must reconcile exactly with the job reports — ok + cached == total
+// specs submitted, with each side matching the reports' Executed and
+// Cached sums.
+func TestMetricsReconcileWithReport(t *testing.T) {
+	run := newStubRunner()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	s := NewWithMetrics(&sweep.Engine{Workers: 2, Cache: cache, Runner: run.run}, nil, reg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Submit over HTTP so the request middleware counts too.
+	submit := func(seeds ...int64) JobStatus {
+		t.Helper()
+		body, _ := json.Marshal(SubmitRequest{Specs: specList(seeds...)})
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Job A: 4 fresh specs. Job B: the same 4 (cache hits) plus 2 new.
+	a := submit(1, 2, 3, 4)
+	fa := waitJob(t, s, a.ID)
+	b := submit(1, 2, 3, 4, 5, 6)
+	fb := waitJob(t, s, b.ID)
+
+	if fa.Executed != 4 || fb.Executed != 2 || fb.Cached != 4 {
+		t.Fatalf("unexpected reports: a=%+v b=%+v", fa, fb)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	ok := m[`dramlat_sweepd_spec_outcomes_total{kind="ok"}`]
+	cached := m[`dramlat_sweepd_spec_outcomes_total{kind="cached"}`]
+	total := float64(fa.Total + fb.Total)
+
+	if wantOK := float64(fa.Executed + fb.Executed); ok != wantOK {
+		t.Errorf("outcome ok = %v, reports say %v", ok, wantOK)
+	}
+	if wantCached := float64(fa.Cached + fb.Cached); cached != wantCached {
+		t.Errorf("outcome cached = %v, reports say %v", cached, wantCached)
+	}
+	if ok+cached != total {
+		t.Errorf("ok (%v) + cached (%v) != total specs (%v)", ok, cached, total)
+	}
+
+	if got := m["dramlat_sweepd_jobs_submitted_total"]; got != 2 {
+		t.Errorf("jobs_submitted_total = %v, want 2", got)
+	}
+	if got := m[`dramlat_sweepd_jobs_total{state="done"}`]; got != 2 {
+		t.Errorf("jobs_total{done} = %v, want 2", got)
+	}
+	if got := m["dramlat_sweepd_queue_depth"]; got != 0 {
+		t.Errorf("queue_depth = %v after all jobs done, want 0", got)
+	}
+	if got := m["dramlat_sweepd_queue_waiters"]; got != 0 {
+		t.Errorf("queue_waiters = %v after all jobs done, want 0", got)
+	}
+	if got := m["dramlat_sweepd_workers_busy"]; got != 0 {
+		t.Errorf("workers_busy = %v after all jobs done, want 0", got)
+	}
+	if got := m["dramlat_sweepd_workers"]; got != 2 {
+		t.Errorf("workers = %v, want 2", got)
+	}
+	// Every unique queued task is claimed by a worker — cache hits are
+	// resolved inside the worker — so the queue-wait histogram counted
+	// all 10 claims.
+	if got := m[`dramlat_sweepd_queue_wait_seconds_count{priority="0"}`]; got != 10 {
+		t.Errorf("queue_wait count = %v, want 10 claims", got)
+	}
+	if got := m[`dramlat_sweepd_http_requests_total{method="POST",code="202"}`]; got != 2 {
+		t.Errorf("http_requests{POST,202} = %v, want 2", got)
+	}
+}
+
+// TestArtifactEndpointsByteIdentical submits a real (tiny) simulation
+// with telemetry requested on the job, then fetches every stored
+// artifact over the API and requires the payload to be byte-identical
+// to the server-side file — the contract dlprof -server relies on.
+func TestArtifactEndpointsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(&sweep.Engine{Workers: 1, Cache: cache, TelemetryDir: dir}, nil)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := dramlat.RunSpec{
+		Benchmark: "bfs", Scheduler: "wg-w", Scale: 0.05, SMs: 2, WarpsPerSM: 4,
+	}
+	body, _ := json.Marshal(SubmitRequest{
+		Specs:     []dramlat.RunSpec{spec},
+		Telemetry: &dramlat.TelemetryOptions{Events: true, SampleEvery: 200},
+	})
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.Failed != 0 {
+		t.Fatalf("job failed: %+v", fin)
+	}
+
+	hash := spec.Hash()
+	resp, err = http.Get(ts.URL + "/api/v1/results/" + hash + "/artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list ArtifactsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Artifacts) != len(ArtifactNames) {
+		t.Fatalf("artifact list %+v, want all of %v", list.Artifacts, ArtifactNames)
+	}
+
+	for _, art := range list.Artifacts {
+		resp, err := http.Get(ts.URL + "/api/v1/results/" + hash + "/artifacts/" + art.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET artifact %s: status %d", art.Name, resp.StatusCode)
+		}
+		local, err := os.ReadFile(filepath.Join(dir, hash+"."+art.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(remote, local) {
+			t.Errorf("artifact %s differs from server-side file (%d vs %d bytes)",
+				art.Name, len(remote), len(local))
+		}
+		if int64(len(remote)) != art.Size {
+			t.Errorf("artifact %s: listed size %d, fetched %d", art.Name, art.Size, len(remote))
+		}
+	}
+
+	// Unknown names and traversal attempts never resolve to a path.
+	for _, bad := range []string{"evil.txt", "..%2F..%2Fetc%2Fpasswd"} {
+		resp, err := http.Get(ts.URL + "/api/v1/results/" + hash + "/artifacts/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET artifact %q: status %d, want 404", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestTelemetryRequiresArtifactDir pins the submit-time rejection: a
+// job asking for telemetry on a server without an artifact dir fails
+// loudly instead of silently dropping capture.
+func TestTelemetryRequiresArtifactDir(t *testing.T) {
+	run := newStubRunner()
+	s := newTestServer(t, run, 1)
+	_, err := s.SubmitJob(specList(1), JobOptions{
+		Telemetry: dramlat.TelemetryOptions{Events: true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "telemetry") {
+		t.Fatalf("SubmitJob with telemetry, no dir: err = %v, want telemetry rejection", err)
+	}
+}
+
+func TestHealthzBuildInfo(t *testing.T) {
+	run := newStubRunner()
+	s := newTestServer(t, run, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: status %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "ok" {
+		t.Errorf("state %q, want ok", st.State)
+	}
+	if st.GoVersion == "" {
+		t.Error("go_version empty; ReadBuildInfo should always supply it under `go test`")
+	}
+	if st.StartTime.IsZero() {
+		t.Error("start_time is zero")
+	}
+	if st.UptimeMS < 0 {
+		t.Errorf("uptime_ms = %d, want >= 0", st.UptimeMS)
+	}
+}
+
+func TestRequestIDMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	run := newStubRunner()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithMetrics(&sweep.Engine{Workers: 1, Cache: cache, Runner: run.run},
+		logger, metrics.NewRegistry())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A caller-supplied ID is propagated verbatim.
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/jobs", nil)
+	req.Header.Set("X-Request-ID", "caller-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-supplied-42" {
+		t.Errorf("X-Request-ID = %q, want propagation of caller's", got)
+	}
+
+	// Absent one, the server generates 16 hex chars.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	gen := resp.Header.Get("X-Request-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(gen) {
+		t.Errorf("generated X-Request-ID = %q, want 16 hex chars", gen)
+	}
+
+	// One access-log line per request, carrying the request id.
+	logs := buf.String()
+	if !strings.Contains(logs, "request_id=caller-supplied-42") {
+		t.Errorf("access log missing propagated request id:\n%s", logs)
+	}
+	if !strings.Contains(logs, "request_id="+gen) {
+		t.Errorf("access log missing generated request id:\n%s", logs)
+	}
+	for _, want := range []string{"method=GET", "path=/api/v1/jobs", "status=200"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("access log missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+func TestDashboardServed(t *testing.T) {
+	run := newStubRunner()
+	s := newTestServer(t, run, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/v1/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/v1/dashboard: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content-type %q, want text/html", ct)
+	}
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dlserve dashboard", "/api/v1/jobs", "/api/v1/health", "EventSource"} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("dashboard page missing %q", want)
+		}
+	}
+}

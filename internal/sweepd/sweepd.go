@@ -25,10 +25,13 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"dramlat"
+	"dramlat/internal/metrics"
 	"dramlat/internal/sweep"
 )
 
@@ -57,9 +60,15 @@ var ErrDrained = errors.New("sweepd: server drained before this spec ran")
 // ErrDraining rejects submissions once shutdown has begun.
 var ErrDraining = errors.New("sweepd: server is draining")
 
+// ErrTelemetryDisabled rejects telemetry-capture submissions on a
+// server without an artifact directory.
+var ErrTelemetryDisabled = errors.New("sweepd: server has no artifact dir; telemetry capture disabled")
+
 // Stats is the health/stats endpoint payload. Counters are cumulative
 // over the server's lifetime; Executed counts specs actually simulated
-// (a resubmitted, fully cached grid leaves it untouched).
+// (a resubmitted, fully cached grid leaves it untouched). Build
+// identity (version, VCS revision, Go version) and uptime ride along so
+// `GET /healthz` answers "what exactly is running, and since when".
 type Stats struct {
 	State       string `json:"state"` // ok | draining
 	Workers     int    `json:"workers"`
@@ -72,7 +81,32 @@ type Stats struct {
 	Deduped     int64  `json:"deduped"`
 	Failed      int64  `json:"failed"`
 	CacheDir    string `json:"cache_dir,omitempty"`
+	ArtifactDir string `json:"artifact_dir,omitempty"`
+
+	Version   string    `json:"version,omitempty"`
+	Revision  string    `json:"revision,omitempty"`
+	GoVersion string    `json:"go_version,omitempty"`
+	StartTime time.Time `json:"start_time"`
+	UptimeMS  int64     `json:"uptime_ms"`
 }
+
+// buildIdentity reads the binary's module version, VCS revision and Go
+// toolchain once; absent fields (e.g. a test binary with no VCS stamp)
+// stay empty rather than erroring.
+var buildIdentity = sync.OnceValue(func() (bi [3]string) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi[0] = info.Main.Version
+	bi[2] = info.GoVersion
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			bi[1] = s.Value
+		}
+	}
+	return bi
+})
 
 // JobStatus is the externally visible state of one job.
 type JobStatus struct {
@@ -97,7 +131,13 @@ type task struct {
 	seq      int64 // FIFO tiebreak within a priority
 	waiters  []waiter
 	running  bool
-	index    int // heap index; -1 once claimed or removed
+	index    int       // heap index; -1 once claimed or removed
+	queued   time.Time // enqueue instant, for the queue-wait histogram
+	// tel is the merged telemetry request of every waiter that asked
+	// for artifact capture: any waiter enabling a subsystem enables it
+	// for the single shared execution. Joining a task that is already
+	// running cannot retroactively enable capture.
+	tel dramlat.TelemetryOptions
 }
 
 type waiter struct {
@@ -174,8 +214,10 @@ func (j *job) status() JobStatus {
 // state is guarded by mu; workCond wakes workers when tasks arrive,
 // eventCond wakes progress streams when any job advances.
 type Server struct {
-	eng    *sweep.Engine
-	logger *slog.Logger
+	eng     *sweep.Engine
+	logger  *slog.Logger
+	m       *serverMetrics
+	started time.Time
 
 	ctx    context.Context // cancels in-flight simulations on Close
 	cancel context.CancelFunc
@@ -200,15 +242,26 @@ type Server struct {
 
 // New starts a server with eng's worker count (Workers <= 0 means
 // GOMAXPROCS). The engine's cache, runner and timeout apply to every
-// spec the service executes. A nil logger discards logs.
+// spec the service executes. A nil logger discards logs. Service
+// metrics land on metrics.Default (alongside the engine- and
+// cache-level families), so `GET /metrics` exposes the whole stack.
 func New(eng *sweep.Engine, logger *slog.Logger) *Server {
+	return NewWithMetrics(eng, logger, metrics.Default)
+}
+
+// NewWithMetrics is New with the service instruments on a caller-owned
+// registry — tests use a fresh registry so counters start at zero.
+// Engine and cache families still land on metrics.Default.
+func NewWithMetrics(eng *sweep.Engine, logger *slog.Logger, reg *metrics.Registry) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		eng: eng, logger: logger,
-		ctx: ctx, cancel: cancel,
+		m:       newServerMetrics(reg),
+		started: time.Now(),
+		ctx:     ctx, cancel: cancel,
 		jobs:  map[string]*job{},
 		tasks: map[string]*task{},
 	}
@@ -218,6 +271,7 @@ func New(eng *sweep.Engine, logger *slog.Logger) *Server {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	s.m.workers.Set(float64(n))
 	for i := 0; i < n; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
@@ -235,15 +289,40 @@ func (s *Server) Workers() int {
 	return n
 }
 
-// Submit queues one job over the given specs. Specs are not
+// JobOptions shape one submission beyond its specs.
+type JobOptions struct {
+	// Priority orders jobs in the queue (higher first; FIFO within).
+	Priority int
+	// Telemetry, when it enables a subsystem, captures per-spec
+	// artifacts (event JSONL, interval CSVs) for every spec this job
+	// freshly executes; they land in the server's artifact dir,
+	// content-addressed by spec hash, and are served by the
+	// /results/{hash}/artifacts endpoints. Requires the server to run
+	// with an artifact dir (ErrTelemetryDisabled otherwise). Specs
+	// served from the cache — including ones another job is already
+	// executing without telemetry — produce no artifacts, exactly like
+	// cache hits in a local sweep.
+	Telemetry dramlat.TelemetryOptions
+}
+
+// Submit queues one job over the given specs at the given priority.
+// See SubmitJob for the full-option surface.
+func (s *Server) Submit(specs []dramlat.RunSpec, priority int) (JobStatus, error) {
+	return s.SubmitJob(specs, JobOptions{Priority: priority})
+}
+
+// SubmitJob queues one job over the given specs. Specs are not
 // pre-validated: an invalid spec fails at execution with a
 // *dramlat.ValidationError outcome, exactly as in a local sweep, so
 // remote and local reports stay identical. Duplicate hashes — within
 // the job or against specs other live jobs are already waiting on —
 // execute once.
-func (s *Server) Submit(specs []dramlat.RunSpec, priority int) (JobStatus, error) {
+func (s *Server) SubmitJob(specs []dramlat.RunSpec, opts JobOptions) (JobStatus, error) {
 	if len(specs) == 0 {
 		return JobStatus{}, errors.New("sweepd: job has no specs")
+	}
+	if opts.Telemetry.Enabled() && s.eng.TelemetryDir == "" {
+		return JobStatus{}, ErrTelemetryDisabled
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -253,7 +332,7 @@ func (s *Server) Submit(specs []dramlat.RunSpec, priority int) (JobStatus, error
 	s.nextJob++
 	j := &job{
 		id:       fmt.Sprintf("job-%d", s.nextJob),
-		priority: priority,
+		priority: opts.Priority,
 		state:    JobRunning,
 		specs:    specs,
 		outcomes: make([]sweep.Outcome, len(specs)),
@@ -261,31 +340,56 @@ func (s *Server) Submit(specs []dramlat.RunSpec, priority int) (JobStatus, error
 
 		submitted: time.Now(),
 	}
+	now := time.Now()
 	for i, sp := range specs {
 		h := sp.Hash()
 		j.outcomes[i] = sweep.Outcome{Spec: sp, Hash: h}
 		if t, ok := s.tasks[h]; ok {
 			t.waiters = append(t.waiters, waiter{j, i})
 			s.stats.deduped++
+			s.m.queueWaiters.Inc()
 			// A waiting task inherits the most urgent priority asked
-			// of it.
-			if priority > t.priority && t.index >= 0 {
-				t.priority = priority
+			// of it, and the union of the telemetry requests (unless it
+			// is already running — capture cannot start retroactively).
+			if !t.running {
+				t.tel = mergeTelemetry(t.tel, opts.Telemetry)
+			}
+			if opts.Priority > t.priority && t.index >= 0 {
+				t.priority = opts.Priority
 				heap.Fix(&s.pq, t.index)
 			}
 			continue
 		}
 		s.seq++
-		t := &task{hash: h, spec: sp, priority: priority, seq: s.seq,
+		t := &task{hash: h, spec: sp, priority: opts.Priority, seq: s.seq,
+			queued: now, tel: opts.Telemetry,
 			waiters: []waiter{{j, i}}}
 		s.tasks[h] = t
 		heap.Push(&s.pq, t)
+		s.m.queueDepth.Inc()
+		s.m.queueWaiters.Inc()
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.m.jobsSubmitted.Inc()
 	s.workCond.Broadcast()
-	s.logger.Info("job submitted", "job", j.id, "specs", len(specs), "priority", priority)
+	s.logger.Info("job submitted", "job", j.id, "specs", len(specs), "priority", opts.Priority)
 	return j.status(), nil
+}
+
+// mergeTelemetry unions two capture requests: any enabled subsystem
+// stays enabled, the ring capacity takes the larger ask, and the
+// sampling period the finer one.
+func mergeTelemetry(a, b dramlat.TelemetryOptions) dramlat.TelemetryOptions {
+	out := a
+	out.Events = a.Events || b.Events
+	if b.EventCap > out.EventCap {
+		out.EventCap = b.EventCap
+	}
+	if b.SampleEvery > 0 && (out.SampleEvery == 0 || b.SampleEvery < out.SampleEvery) {
+		out.SampleEvery = b.SampleEvery
+	}
+	return out
 }
 
 // worker pulls the highest-priority task, runs it through the engine
@@ -304,16 +408,32 @@ func (s *Server) worker(id int) {
 		t := heap.Pop(&s.pq).(*task)
 		t.running = true
 		s.running++
+		s.m.queueDepth.Dec()
+		s.m.workersBusy.Inc()
+		s.m.queueWait.With(strconv.Itoa(t.priority)).Observe(time.Since(t.queued).Seconds())
 		s.mu.Unlock()
 
+		spec := t.spec
+		if t.tel.Enabled() {
+			// Per-job artifact capture: the engine's telemetry runner
+			// writes the bundle under the artifact dir before returning.
+			spec.Telemetry = t.tel
+		}
 		start := time.Now()
-		o := s.eng.RunOneContext(s.ctx, t.spec)
+		o := s.eng.RunOneContext(s.ctx, spec)
+		if !o.Cached {
+			s.m.execSeconds.With(spec.Canonical().Scheduler).Observe(o.Elapsed.Seconds())
+		}
 		s.logger.Debug("spec finished",
 			"worker", id, "hash", t.hash, "kind", string(o.Kind()),
 			"ms", time.Since(start).Milliseconds())
 
 		s.mu.Lock()
 		s.running--
+		s.m.workersBusy.Dec()
+		if s.draining {
+			s.m.drainPending.Set(float64(s.running))
+		}
 		s.complete(t, o)
 		s.mu.Unlock()
 	}
@@ -342,6 +462,7 @@ func (s *Server) complete(t *task, o sweep.Outcome) {
 			oc.Cached = o.Err == nil
 			oc.Elapsed = 0
 		}
+		s.m.queueWaiters.Dec()
 		s.deliver(w.job, w.idx, oc, k > 0)
 	}
 	s.evCond.Broadcast()
@@ -358,6 +479,7 @@ func (s *Server) deliver(j *job, idx int, o sweep.Outcome, follower bool) {
 	j.outcomes[idx] = o
 	j.filled[idx] = true
 	j.done++
+	s.m.specOutcomes.With(string(o.Kind())).Inc()
 	if o.Err != nil {
 		j.failed++
 	}
@@ -374,6 +496,7 @@ func (s *Server) deliver(j *job, idx int, o sweep.Outcome, follower bool) {
 	if j.done == len(j.specs) {
 		j.state = JobDone
 		j.finished = time.Now()
+		s.m.jobsFinished.With(string(JobDone)).Inc()
 		s.logger.Info("job done", "job", j.id,
 			"executed", j.executed, "cached", j.cached, "failed", j.failed,
 			"ms", j.finished.Sub(j.submitted).Milliseconds())
@@ -401,12 +524,15 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		for _, w := range t.waiters {
 			if w.job != j {
 				kept = append(kept, w)
+			} else {
+				s.m.queueWaiters.Dec()
 			}
 		}
 		t.waiters = kept
 		if len(kept) == 0 && !t.running {
 			heap.Remove(&s.pq, t.index)
 			delete(s.tasks, h)
+			s.m.queueDepth.Dec()
 		}
 	}
 	for i := range j.specs {
@@ -415,10 +541,12 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 			j.filled[i] = true
 			j.done++
 			j.failed++
+			s.m.specOutcomes.With(string(sweep.KindCanceled)).Inc()
 		}
 	}
 	j.state = JobCanceled
 	j.finished = time.Now()
+	s.m.jobsFinished.With(string(JobCanceled)).Inc()
 	s.evCond.Broadcast()
 	s.logger.Info("job canceled", "job", id, "done", j.done, "total", len(j.specs))
 	return j.status(), nil
@@ -507,6 +635,7 @@ func (s *Server) Result(hash string) (dramlat.RunSpec, dramlat.Results, bool) {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	bi := buildIdentity()
 	st := Stats{
 		State:    "ok",
 		Workers:  s.Workers(),
@@ -514,7 +643,11 @@ func (s *Server) Stats() Stats {
 		Running:  s.running,
 		Executed: s.stats.executed, CacheHits: s.stats.cacheHits,
 		Deduped: s.stats.deduped, Failed: s.stats.failed,
-		CacheDir: s.eng.Cache.Dir(),
+		CacheDir:    s.eng.Cache.Dir(),
+		ArtifactDir: s.eng.TelemetryDir,
+		Version:     bi[0], Revision: bi[1], GoVersion: bi[2],
+		StartTime: s.started,
+		UptimeMS:  time.Since(s.started).Milliseconds(),
 	}
 	if s.draining {
 		st.State = "draining"
@@ -539,6 +672,8 @@ func (s *Server) Drain() {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
+	s.m.draining.Set(1)
+	s.m.drainPending.Set(float64(s.running))
 	s.workCond.Broadcast()
 	s.mu.Unlock()
 	if !already {
@@ -548,6 +683,7 @@ func (s *Server) Drain() {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.m.drainPending.Set(0)
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if j.state.terminal() {
@@ -559,10 +695,12 @@ func (s *Server) Drain() {
 				j.filled[i] = true
 				j.done++
 				j.failed++
+				s.m.specOutcomes.With(string(sweep.Outcome{Err: ErrDrained}.Kind())).Inc()
 			}
 		}
 		j.state = JobResumable
 		j.finished = time.Now()
+		s.m.jobsFinished.With(string(JobResumable)).Inc()
 		s.logger.Info("job marked resumable", "job", id,
 			"completed", j.done-j.failed, "total", len(j.specs))
 	}

@@ -36,6 +36,15 @@ type Cache struct {
 	clock    int64
 
 	mshrs map[uint64]*MSHR
+	// mshrFree recycles released MSHRs: misses dominate the simulator's
+	// steady-state allocation profile, and the registers are fixed
+	// hardware structures, so the model should not allocate per miss
+	// either. A released MSHR may be handed out again by the very next
+	// MSHRAlloc — callers must finish reading a released MSHR before
+	// allocating from the same cache (true of the SM and partition call
+	// graphs: releases and the waiter fan-out run strictly between
+	// allocs).
+	mshrFree []*MSHR
 
 	Hits       int64
 	Misses     int64
@@ -197,7 +206,20 @@ func (c *Cache) MSHRAlloc(addr uint64) *MSHR {
 	if _, ok := c.mshrs[key]; ok {
 		panic("cache: MSHR already allocated for line")
 	}
-	m := &MSHR{Line: key}
+	var m *MSHR
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		// Waiter handles are cleared at reuse time, not release time,
+		// because MSHRRelease's caller still reads them.
+		ws := m.Waiters
+		for i := range ws {
+			ws[i] = nil
+		}
+		*m = MSHR{Line: key, Waiters: ws[:0]}
+	} else {
+		m = &MSHR{Line: key}
+	}
 	c.mshrs[key] = m
 	return m
 }
@@ -207,7 +229,10 @@ func (c *Cache) MSHRAlloc(addr uint64) *MSHR {
 func (c *Cache) MSHRRelease(addr uint64) *MSHR {
 	key := addr &^ uint64(c.cfg.LineBytes-1)
 	m := c.mshrs[key]
-	delete(c.mshrs, key)
+	if m != nil {
+		delete(c.mshrs, key)
+		c.mshrFree = append(c.mshrFree, m)
+	}
 	return m
 }
 

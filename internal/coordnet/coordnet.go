@@ -45,6 +45,7 @@ type Network struct {
 	queues   [][]timedMsg // per destination (NOT due-ordered: links backpressure independently)
 	nextDue  []int64      // per destination, exact min due over queues[dst]
 	linkFree [][]int64    // per (src,dst) link availability
+	outBuf   [][]Msg      // per destination, reused across Deliver calls
 
 	// staging, when non-nil, buffers Broadcast legs per source instead of
 	// appending to the destination queues directly (EnableStaging). The
@@ -69,6 +70,7 @@ func New(n int, delay int64) *Network {
 		queues:         make([][]timedMsg, n),
 		nextDue:        make([]int64, n),
 		linkFree:       make([][]int64, n),
+		outBuf:         make([][]Msg, n),
 	}
 	for i := range net.linkFree {
 		net.linkFree[i] = make([]int64, n)
@@ -124,13 +126,16 @@ func (n *Network) Broadcast(from int, g memreq.GroupID, score int, now int64) {
 }
 
 // Deliver pops and returns every message destined to dst that has arrived
-// by tick now, in arrival order.
+// by tick now, in arrival order. The returned slice is owned by the
+// network and only valid until the next Deliver call for the same dst;
+// callers consume it immediately (a receiver checks its ports once per
+// cycle, so a hardware-faithful caller cannot hold two batches anyway).
 func (n *Network) Deliver(dst int, now int64) []Msg {
 	if now < n.nextDue[dst] {
 		return nil // nothing has arrived yet; nextDue is exact
 	}
 	q := n.queues[dst]
-	var out []Msg
+	out := n.outBuf[dst][:0]
 	keep := q[:0]
 	next := never
 	for _, tm := range q {
@@ -146,6 +151,7 @@ func (n *Network) Deliver(dst int, now int64) []Msg {
 	}
 	n.queues[dst] = keep
 	n.nextDue[dst] = next
+	n.outBuf[dst] = out
 	return out
 }
 

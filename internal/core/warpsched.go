@@ -162,6 +162,11 @@ type WarpScheduler struct {
 	order   []*group // arrival order
 	current *group
 	count   int
+	// groupFree recycles retired group entries (and their pending-slice
+	// capacity): the sorter churns through one group per warp load, and
+	// the live population is bounded by the read queue, so the steady
+	// state should reuse rather than allocate.
+	groupFree []*group
 
 	bankPending []int // pending (undispatched) requests per bank
 
@@ -170,6 +175,10 @@ type WarpScheduler struct {
 	// memory is pooled, so stale pointers must not linger); the
 	// req.Dispatched skip in liveFillers is a defensive second line.
 	fillerIdx map[[2]int][]*memreq.Request
+	// fillerFree recycles the per-(bank,row) index slices dropped when an
+	// entry empties, so re-opening the same locality later reuses their
+	// capacity.
+	fillerFree [][]*memreq.Request
 
 	Stats Stats
 }
@@ -255,7 +264,20 @@ func (w *WarpScheduler) OnEnqueue(r *memreq.Request, now int64) {
 	key, pseudo := groupKey(r)
 	g, ok := w.groups[key]
 	if !ok {
-		g = &group{id: key, firstArrive: now}
+		if n := len(w.groupFree); n > 0 {
+			g = w.groupFree[n-1]
+			w.groupFree = w.groupFree[:n-1]
+			// A retired group's pending slice is empty but its capacity
+			// tail may still hold pooled-request pointers; clear them so
+			// the recycled entry starts clean.
+			pend := g.pending[:cap(g.pending)]
+			for i := range pend {
+				pend[i] = nil
+			}
+			*g = group{id: key, firstArrive: now, pending: pend[:0]}
+		} else {
+			g = &group{id: key, firstArrive: now}
+		}
 		w.groups[key] = g
 		w.order = append(w.order, g)
 	}
@@ -270,7 +292,14 @@ func (w *WarpScheduler) OnEnqueue(r *memreq.Request, now int64) {
 	w.count++
 	w.bankPending[r.Bank]++
 	fk := [2]int{r.Bank, r.Row}
-	w.fillerIdx[fk] = append(w.fillerIdx[fk], r)
+	list := w.fillerIdx[fk]
+	if list == nil {
+		if n := len(w.fillerFree); n > 0 {
+			list = w.fillerFree[n-1]
+			w.fillerFree = w.fillerFree[:n-1]
+		}
+	}
+	w.fillerIdx[fk] = append(list, r)
 }
 
 // GroupComplete implements memctrl.Scheduler: the L2 slice signals that the
@@ -674,11 +703,22 @@ func (w *WarpScheduler) liveFillers(bank, row int) []*memreq.Request {
 		}
 	}
 	if len(live) == 0 {
-		delete(w.fillerIdx, fk)
+		w.dropFillerEntry(fk, list)
 		return nil
 	}
 	w.fillerIdx[fk] = live
 	return live
+}
+
+// dropFillerEntry removes an emptied (bank,row) index entry and parks its
+// slice for reuse, clearing the stale request pointers it still holds.
+func (w *WarpScheduler) dropFillerEntry(fk [2]int, list []*memreq.Request) {
+	delete(w.fillerIdx, fk)
+	list = list[:cap(list)]
+	for i := range list {
+		list[i] = nil
+	}
+	w.fillerFree = append(w.fillerFree, list[:0])
 }
 
 // banksWithWork counts banks with either queued transactions or pending
@@ -724,7 +764,7 @@ func (w *WarpScheduler) dispatch(r *memreq.Request) *memreq.Request {
 			}
 		}
 		if len(live) == 0 {
-			delete(w.fillerIdx, fk)
+			w.dropFillerEntry(fk, list)
 		} else {
 			w.fillerIdx[fk] = live
 		}
@@ -738,9 +778,17 @@ func (w *WarpScheduler) dispatch(r *memreq.Request) *memreq.Request {
 	return r
 }
 
-// retire removes a finished group from the sorter.
+// retire removes a finished group from the sorter and parks the entry for
+// reuse. current must be cleared here: before recycling, a retired group
+// held by w.current stayed "exhausted forever" and forced reselection; a
+// recycled pointer could instead come back to life as a different group
+// and be continued without selection.
 func (w *WarpScheduler) retire(g *group) {
+	if w.current == g {
+		w.current = nil
+	}
 	delete(w.groups, g.id)
+	w.groupFree = append(w.groupFree, g)
 	for i, e := range w.order {
 		if e == g {
 			w.order = append(w.order[:i], w.order[i+1:]...)

@@ -15,6 +15,13 @@
 // transfer keeps the MERB arithmetic of Section IV-D identical to the
 // paper's.
 //
+// Per-bank state is data-oriented: the row/timing/score fields the
+// scheduler scan and the legality checks read every cycle live in flat
+// per-channel arrays indexed by bank (see the "Data-oriented core"
+// section of DESIGN.md), so the round-robin scan in Tick and the
+// earliest-legal pass in NextWakeup walk contiguous memory instead of
+// chasing a struct per bank.
+//
 // Refresh is off by default (the paper does not discuss it and it affects
 // all schedulers identically) but can be enabled with SetRefresh: an
 // all-bank refresh model that drains the command queues, closes every bank
@@ -73,35 +80,17 @@ type Command struct {
 // Transaction is a scheduled request: the unit the transaction scheduler
 // hands to the channel. Hit records whether the transaction was projected
 // (and, because per-bank queues execute in order, actually is) a row hit.
+//
+// Transactions are recycled: once one completes, the channel reclaims it
+// at the next Tick on a later cycle. Callers may read a completed
+// transaction until the end of the tick its last burst finished on
+// (OnComplete and the command returned by that Tick), not across ticks.
 type Transaction struct {
 	Req      *memreq.Request
 	Hit      bool
 	CASTotal int
 	casDone  int
 	DoneAt   int64 // tick at which the last burst finishes
-}
-
-// bank tracks both the architectural state (open row, earliest-legal times)
-// and the shadow scheduling state (the row that will be open once all
-// queued commands execute) of one DRAM bank.
-type bank struct {
-	openRow int // -1 when closed (architectural)
-	actOK   int64
-	preOK   int64
-	casOK   int64
-
-	schedRow     int // row open after queued cmds execute; -1 closed
-	queue        []Command
-	queuedTxns   int
-	queuedScore  int // WG score units (1 per projected hit, 3 per miss)
-	hitsSinceAct int // 64B bursts scheduled since the last scheduled ACT
-
-	// schedVer increments whenever any scheduler-visible bank state above
-	// (schedRow, queuedScore, hitsSinceAct) changes: on Enqueue, on a
-	// transaction's last burst retiring, and on refresh. Warp-group score
-	// caches (internal/core) compare snapshots of it to decide whether a
-	// cached score is still valid.
-	schedVer uint32
 }
 
 // Stats aggregates channel activity counters.
@@ -125,7 +114,30 @@ type Channel struct {
 	Groups   int // bank groups (4)
 	QueueCap int // max queued transactions per bank
 
-	banks []bank
+	// Per-bank state, struct-of-arrays, indexed by bank. openRow/actOK/
+	// preOK/casOK are the architectural row and earliest-legal times the
+	// per-tick legality checks read; schedRow/queuedTxns/queuedScore/
+	// hitsSinceAct are the shadow scheduling state (the view once all
+	// queued commands execute) the transaction schedulers read.
+	openRow      []int32 // -1 when closed (architectural)
+	actOK        []int64
+	preOK        []int64
+	casOK        []int64
+	schedRow     []int32 // row open after queued cmds execute; -1 closed
+	queuedTxns   []int32
+	queuedScore  []int32 // WG score units (1 per projected hit, 3 per miss)
+	hitsSinceAct []int32 // 64B bursts scheduled since the last scheduled ACT
+	// schedVer increments whenever any scheduler-visible bank state above
+	// (schedRow, queuedScore, hitsSinceAct) changes: on Enqueue, on a
+	// transaction's last burst retiring, and on refresh. Warp-group score
+	// caches (internal/core) compare snapshots of it to decide whether a
+	// cached score is still valid.
+	schedVer []uint32
+
+	// queues are the per-bank in-order command queues, head-indexed so a
+	// pop never re-slices capacity away.
+	queues [][]Command
+	qHead  []int32
 
 	// Rank-level timing state.
 	lastACT   int64    // for tRRD
@@ -145,6 +157,19 @@ type Channel struct {
 	// serviced purely as data-bus transfers (Fig 4's ideal model keeps
 	// bus bandwidth and contention but abstracts bank conflicts away).
 	busOnly []*Transaction
+	boHead  int
+
+	// lastCmd is the storage for the command Tick returns, so issuing a
+	// command never allocates; the pointer is valid until the next Tick.
+	lastCmd Command
+
+	// txnFree/txnDead recycle Transaction objects. A completing
+	// transaction parks on txnDead until a Tick on a later cycle moves it
+	// to txnFree — by then every same-tick reader (OnComplete, the
+	// tracer reading the returned command's Txn) has run.
+	txnFree  []*Transaction
+	txnDead  []*Transaction
+	lastSeen int64
 
 	// Refresh state (SetRefresh).
 	refreshInterval int64
@@ -178,16 +203,27 @@ func NewChannel(t gddr5.Timing, numBanks, groups, queueCap int) *Channel {
 		NumBanks:     numBanks,
 		Groups:       groups,
 		QueueCap:     queueCap,
-		banks:        make([]bank, numBanks),
+		openRow:      make([]int32, numBanks),
+		actOK:        make([]int64, numBanks),
+		preOK:        make([]int64, numBanks),
+		casOK:        make([]int64, numBanks),
+		schedRow:     make([]int32, numBanks),
+		queuedTxns:   make([]int32, numBanks),
+		queuedScore:  make([]int32, numBanks),
+		hitsSinceAct: make([]int32, numBanks),
+		schedVer:     make([]uint32, numBanks),
+		queues:       make([][]Command, numBanks),
+		qHead:        make([]int32, numBanks),
 		lastCASGroup: make([]int64, groups),
+		lastSeen:     -1 << 62,
 	}
 	const past = -1 << 30
-	for i := range c.banks {
-		c.banks[i].openRow = -1
-		c.banks[i].schedRow = -1
-		c.banks[i].actOK = past
-		c.banks[i].preOK = past
-		c.banks[i].casOK = past
+	for i := 0; i < numBanks; i++ {
+		c.openRow[i] = -1
+		c.schedRow[i] = -1
+		c.actOK[i] = past
+		c.preOK[i] = past
+		c.casOK[i] = past
 	}
 	c.lastACT = past
 	for i := range c.fawWindow {
@@ -205,6 +241,52 @@ func NewChannel(t gddr5.Timing, numBanks, groups, queueCap int) *Channel {
 
 func (c *Channel) group(bankIdx int) int { return bankIdx / (c.NumBanks / c.Groups) }
 
+// queueLen returns the number of commands queued at bank b.
+func (c *Channel) queueLen(b int) int { return len(c.queues[b]) - int(c.qHead[b]) }
+
+// head returns the head command of bank b's queue (caller checked len).
+func (c *Channel) head(b int) *Command { return &c.queues[b][c.qHead[b]] }
+
+// popHead removes bank b's head command, resetting the backing array
+// once the queue fully drains so its capacity is reused from the front.
+func (c *Channel) popHead(b int) {
+	q := c.queues[b]
+	h := int(c.qHead[b])
+	q[h] = Command{}
+	h++
+	if h == len(q) {
+		c.queues[b] = q[:0]
+		h = 0
+	}
+	c.qHead[b] = int32(h)
+}
+
+// newTxn returns a zeroed transaction, recycling a retired one when the
+// freelist has stock.
+func (c *Channel) newTxn(r *memreq.Request) *Transaction {
+	if n := len(c.txnFree); n > 0 {
+		t := c.txnFree[n-1]
+		c.txnFree = c.txnFree[:n-1]
+		*t = Transaction{Req: r}
+		return t
+	}
+	return &Transaction{Req: r}
+}
+
+// reclaimTxns moves transactions that completed on an earlier tick to
+// the freelist. Same-tick readers (OnComplete, the tracer behind Tick's
+// returned command) have all run by the first Tick of a later cycle.
+func (c *Channel) reclaimTxns(now int64) {
+	if now == c.lastSeen {
+		return
+	}
+	c.lastSeen = now
+	if len(c.txnDead) > 0 {
+		c.txnFree = append(c.txnFree, c.txnDead...)
+		c.txnDead = c.txnDead[:0]
+	}
+}
+
 // SetRefresh enables all-bank refresh every interval ticks, blocking the
 // channel for trfc ticks per refresh. Passing interval 0 disables it.
 func (c *Channel) SetRefresh(interval, trfc int64) {
@@ -221,7 +303,7 @@ func (c *Channel) CanAccept(b int) bool {
 	if c.refreshDue {
 		return false
 	}
-	return c.banks[b].queuedTxns < c.QueueCap
+	return int(c.queuedTxns[b]) < c.QueueCap
 }
 
 // maybeRefresh arms and performs all-bank refreshes. It returns true while
@@ -237,17 +319,17 @@ func (c *Channel) maybeRefresh(now int64) bool {
 		return false
 	}
 	// Drain: issue queued commands as usual until every queue is empty.
-	for i := range c.banks {
-		if len(c.banks[i].queue) > 0 {
+	for i := 0; i < c.NumBanks; i++ {
+		if c.queueLen(i) > 0 {
 			return false // keep issuing; acceptance is already blocked
 		}
 	}
-	if len(c.busOnly) > 0 {
+	if len(c.busOnly)-c.boHead > 0 {
 		return false
 	}
 	// Wait until every bank may precharge and the bus is quiet.
-	for i := range c.banks {
-		if c.banks[i].openRow != -1 && now < c.banks[i].preOK {
+	for i := 0; i < c.NumBanks; i++ {
+		if c.openRow[i] != -1 && now < c.preOK[i] {
 			return true
 		}
 	}
@@ -255,12 +337,12 @@ func (c *Channel) maybeRefresh(now int64) bool {
 		return true
 	}
 	// Perform the refresh: close everything, block for tRFC.
-	for i := range c.banks {
-		c.banks[i].openRow = -1
-		c.banks[i].schedRow = -1
-		c.banks[i].actOK = now + c.trfc
-		c.banks[i].hitsSinceAct = 0
-		c.banks[i].schedVer++
+	for i := 0; i < c.NumBanks; i++ {
+		c.openRow[i] = -1
+		c.schedRow[i] = -1
+		c.actOK[i] = now + c.trfc
+		c.hitsSinceAct[i] = 0
+		c.schedVer[i]++
 	}
 	c.Stats.Refreshes++
 	c.refreshDue = false
@@ -270,35 +352,35 @@ func (c *Channel) maybeRefresh(now int64) bool {
 
 // SchedRow returns the row that will be open in bank b once all queued
 // commands execute, or -1 if the bank will be (or stay) closed.
-func (c *Channel) SchedRow(b int) int { return c.banks[b].schedRow }
+func (c *Channel) SchedRow(b int) int { return int(c.schedRow[b]) }
 
 // OpenRow returns the row currently open in bank b (-1 precharged),
 // for diagnostics.
-func (c *Channel) OpenRow(b int) int { return c.banks[b].openRow }
+func (c *Channel) OpenRow(b int) int { return int(c.openRow[b]) }
 
 // QueuedTxns returns the number of transactions queued at bank b.
-func (c *Channel) QueuedTxns(b int) int { return c.banks[b].queuedTxns }
+func (c *Channel) QueuedTxns(b int) int { return int(c.queuedTxns[b]) }
 
 // QueuedScore returns the WG completion-time score (1 per projected row
 // hit, 3 per projected row miss; Section IV-B1) of the transactions queued
 // at bank b.
-func (c *Channel) QueuedScore(b int) int { return c.banks[b].queuedScore }
+func (c *Channel) QueuedScore(b int) int { return int(c.queuedScore[b]) }
 
 // HitsSinceAct returns the number of 64B row-hit bursts scheduled to bank b
 // since its last scheduled activate: the MERB counter of Section IV-D.
-func (c *Channel) HitsSinceAct(b int) int { return c.banks[b].hitsSinceAct }
+func (c *Channel) HitsSinceAct(b int) int { return int(c.hitsSinceAct[b]) }
 
 // SchedVersion returns a counter that changes whenever bank b's
 // scheduler-visible state (SchedRow, QueuedScore, HitsSinceAct) changes.
 // Score caches snapshot it to detect staleness without subscribing to
 // individual mutations.
-func (c *Channel) SchedVersion(b int) uint32 { return c.banks[b].schedVer }
+func (c *Channel) SchedVersion(b int) uint32 { return c.schedVer[b] }
 
 // BanksWithQueuedWork counts banks with at least one queued transaction.
 func (c *Channel) BanksWithQueuedWork() int {
 	n := 0
-	for i := range c.banks {
-		if c.banks[i].queuedTxns > 0 {
+	for _, q := range c.queuedTxns {
+		if q > 0 {
 			n++
 		}
 	}
@@ -308,13 +390,15 @@ func (c *Channel) BanksWithQueuedWork() int {
 // ProjectHit reports whether a request to (bank, row) would be a row hit if
 // enqueued now.
 func (c *Channel) ProjectHit(bankIdx, row int) bool {
-	return c.banks[bankIdx].schedRow == row
+	return c.schedRow[bankIdx] == int32(row)
 }
 
 // EnqueueBusOnly schedules a request that consumes only data-bus
 // bandwidth: two bursts at the earliest bus opening, no bank commands.
 func (c *Channel) EnqueueBusOnly(r *memreq.Request) *Transaction {
-	txn := &Transaction{Req: r, Hit: true, CASTotal: 2}
+	txn := c.newTxn(r)
+	txn.Hit = true
+	txn.CASTotal = 2
 	c.busOnly = append(c.busOnly, txn)
 	c.cmdWake = 0
 	return txn
@@ -323,15 +407,20 @@ func (c *Channel) EnqueueBusOnly(r *memreq.Request) *Transaction {
 // tickBusOnly issues the oldest bus-only transfer if the data bus is open.
 // It mirrors a read's bus occupancy (data at now+tCAS for 2*tBURST).
 func (c *Channel) tickBusOnly(now int64) bool {
-	if len(c.busOnly) == 0 {
+	if len(c.busOnly)-c.boHead == 0 {
 		return false
 	}
 	start := now + int64(c.T.TCAS)
 	if start < c.busFreeAt {
 		return false
 	}
-	txn := c.busOnly[0]
-	c.busOnly = c.busOnly[1:]
+	txn := c.busOnly[c.boHead]
+	c.busOnly[c.boHead] = nil
+	c.boHead++
+	if c.boHead == len(c.busOnly) {
+		c.busOnly = c.busOnly[:0]
+		c.boHead = 0
+	}
 	end := start + 2*int64(c.T.TBURST)
 	c.busFreeAt = end
 	c.Stats.RDBursts += 2
@@ -343,6 +432,7 @@ func (c *Channel) tickBusOnly(now int64) bool {
 	if c.OnComplete != nil {
 		c.OnComplete(txn, end)
 	}
+	c.txnDead = append(c.txnDead, txn)
 	return true
 }
 
@@ -351,8 +441,8 @@ func (c *Channel) tickBusOnly(now int64) bool {
 // transaction and whether it was a projected row hit. The caller must have
 // checked CanAccept.
 func (c *Channel) Enqueue(r *memreq.Request) *Transaction {
-	b := &c.banks[r.Bank]
-	if b.queuedTxns >= c.QueueCap {
+	b := r.Bank
+	if int(c.queuedTxns[b]) >= c.QueueCap {
 		// Hot-path invariant: callers must CanAccept first. Kept as a
 		// (typed) panic — the model cannot continue — and converted into
 		// a *guard.RunError by the façade's recover.
@@ -364,31 +454,32 @@ func (c *Channel) Enqueue(r *memreq.Request) *Transaction {
 		casType = CmdWR
 	}
 	const casPerTxn = 2 // 128B request = two 64B bursts
-	txn := &Transaction{Req: r, CASTotal: casPerTxn}
+	txn := c.newTxn(r)
+	txn.CASTotal = casPerTxn
 
-	b.schedVer++
-	if b.schedRow == r.Row {
+	c.schedVer[b]++
+	if c.schedRow[b] == int32(r.Row) {
 		txn.Hit = true
-		b.queuedScore++
-		b.hitsSinceAct += casPerTxn
+		c.queuedScore[b]++
+		c.hitsSinceAct[b] += casPerTxn
 		c.Stats.HitTxns++
 	} else {
-		if b.schedRow != -1 {
-			b.queue = append(b.queue, Command{Type: CmdPRE, Bank: r.Bank})
+		if c.schedRow[b] != -1 {
+			c.queues[b] = append(c.queues[b], Command{Type: CmdPRE, Bank: b})
 		}
-		b.queue = append(b.queue, Command{Type: CmdACT, Bank: r.Bank, Row: r.Row})
-		b.schedRow = r.Row
-		b.queuedScore += 3
-		b.hitsSinceAct = casPerTxn
+		c.queues[b] = append(c.queues[b], Command{Type: CmdACT, Bank: b, Row: r.Row})
+		c.schedRow[b] = int32(r.Row)
+		c.queuedScore[b] += 3
+		c.hitsSinceAct[b] = casPerTxn
 		c.Stats.MissTxns++
 	}
 	for i := 0; i < casPerTxn; i++ {
-		b.queue = append(b.queue, Command{
-			Type: casType, Bank: r.Bank, Row: r.Row,
+		c.queues[b] = append(c.queues[b], Command{
+			Type: casType, Bank: b, Row: r.Row,
 			Txn: txn, Last: i == casPerTxn-1,
 		})
 	}
-	b.queuedTxns++
+	c.queuedTxns[b]++
 	if r.Kind == memreq.Write {
 		c.Stats.WriteTxns++
 	} else {
@@ -399,10 +490,10 @@ func (c *Channel) Enqueue(r *memreq.Request) *Transaction {
 
 // legal reports whether cmd may issue at tick now.
 func (c *Channel) legal(cmd *Command, now int64) bool {
-	b := &c.banks[cmd.Bank]
+	b := cmd.Bank
 	switch cmd.Type {
 	case CmdACT:
-		if b.openRow != -1 || now < b.actOK {
+		if c.openRow[b] != -1 || now < c.actOK[b] {
 			return false
 		}
 		if now < c.lastACT+int64(c.T.TRRD) {
@@ -413,12 +504,12 @@ func (c *Channel) legal(cmd *Command, now int64) bool {
 		}
 		return true
 	case CmdPRE:
-		return b.openRow != -1 && now >= b.preOK
+		return c.openRow[b] != -1 && now >= c.preOK[b]
 	case CmdRD:
-		if b.openRow != cmd.Row || now < b.casOK {
+		if c.openRow[b] != int32(cmd.Row) || now < c.casOK[b] {
 			return false
 		}
-		if now < c.lastCASGroup[c.group(cmd.Bank)]+int64(c.T.TCCDL) {
+		if now < c.lastCASGroup[c.group(b)]+int64(c.T.TCCDL) {
 			return false
 		}
 		if now < c.lastCASAny+int64(c.T.TCCDS) {
@@ -429,10 +520,10 @@ func (c *Channel) legal(cmd *Command, now int64) bool {
 		}
 		return now+int64(c.T.TCAS) >= c.busFreeAt
 	case CmdWR:
-		if b.openRow != cmd.Row || now < b.casOK {
+		if c.openRow[b] != int32(cmd.Row) || now < c.casOK[b] {
 			return false
 		}
-		if now < c.lastCASGroup[c.group(cmd.Bank)]+int64(c.T.TCCDL) {
+		if now < c.lastCASGroup[c.group(b)]+int64(c.T.TCCDL) {
 			return false
 		}
 		if now < c.lastCASAny+int64(c.T.TCCDS) {
@@ -453,10 +544,10 @@ func (c *Channel) legal(cmd *Command, now int64) bool {
 // queues execute in order and Enqueue generated the PRE/ACT prefix from
 // the shadow row state.
 func (c *Channel) earliestLegal(cmd *Command) int64 {
-	b := &c.banks[cmd.Bank]
+	b := cmd.Bank
 	switch cmd.Type {
 	case CmdACT:
-		t := b.actOK
+		t := c.actOK[b]
 		if v := c.lastACT + int64(c.T.TRRD); v > t {
 			t = v
 		}
@@ -465,10 +556,10 @@ func (c *Channel) earliestLegal(cmd *Command) int64 {
 		}
 		return t
 	case CmdPRE:
-		return b.preOK
+		return c.preOK[b]
 	case CmdRD:
-		t := b.casOK
-		if v := c.lastCASGroup[c.group(cmd.Bank)] + int64(c.T.TCCDL); v > t {
+		t := c.casOK[b]
+		if v := c.lastCASGroup[c.group(b)] + int64(c.T.TCCDL); v > t {
 			t = v
 		}
 		if v := c.lastCASAny + int64(c.T.TCCDS); v > t {
@@ -482,8 +573,8 @@ func (c *Channel) earliestLegal(cmd *Command) int64 {
 		}
 		return t
 	case CmdWR:
-		t := b.casOK
-		if v := c.lastCASGroup[c.group(cmd.Bank)] + int64(c.T.TCCDL); v > t {
+		t := c.casOK[b]
+		if v := c.lastCASGroup[c.group(b)] + int64(c.T.TCCDL); v > t {
 			t = v
 		}
 		if v := c.lastCASAny + int64(c.T.TCCDS); v > t {
@@ -516,17 +607,16 @@ func (c *Channel) NextWakeup(now int64) int64 {
 	if c.refreshInterval > 0 && c.nextRefresh < w {
 		w = c.nextRefresh // arming tick mutates refreshDue
 	}
-	if len(c.busOnly) > 0 {
+	if len(c.busOnly)-c.boHead > 0 {
 		if v := c.busFreeAt - int64(c.T.TCAS); v < w {
 			w = v
 		}
 	}
-	for i := range c.banks {
-		b := &c.banks[i]
-		if len(b.queue) == 0 {
+	for i := 0; i < c.NumBanks; i++ {
+		if c.queueLen(i) == 0 {
 			continue
 		}
-		if v := c.earliestLegal(&b.queue[0]); v < w {
+		if v := c.earliestLegal(c.head(i)); v < w {
 			w = v
 		}
 	}
@@ -538,30 +628,30 @@ func (c *Channel) NextWakeup(now int64) int64 {
 
 // apply issues cmd at tick now, updating all timing state.
 func (c *Channel) apply(cmd *Command, now int64) {
-	b := &c.banks[cmd.Bank]
+	b := cmd.Bank
 	switch cmd.Type {
 	case CmdACT:
-		b.openRow = cmd.Row
-		b.casOK = now + int64(c.T.TRCD)
-		if ras := now + int64(c.T.TRAS); ras > b.preOK {
-			b.preOK = ras
+		c.openRow[b] = int32(cmd.Row)
+		c.casOK[b] = now + int64(c.T.TRCD)
+		if ras := now + int64(c.T.TRAS); ras > c.preOK[b] {
+			c.preOK[b] = ras
 		}
-		b.actOK = now + int64(c.T.TRC)
+		c.actOK[b] = now + int64(c.T.TRC)
 		c.lastACT = now
 		c.fawWindow[c.fawIdx] = now
 		c.fawIdx = (c.fawIdx + 1) % len(c.fawWindow)
 		c.Stats.ACTs++
 	case CmdPRE:
-		b.openRow = -1
-		if ok := now + int64(c.T.TRP); ok > b.actOK {
-			b.actOK = ok
+		c.openRow[b] = -1
+		if ok := now + int64(c.T.TRP); ok > c.actOK[b] {
+			c.actOK[b] = ok
 		}
 		c.Stats.PREs++
 	case CmdRD:
-		if p := now + int64(c.T.TRTP); p > b.preOK {
-			b.preOK = p
+		if p := now + int64(c.T.TRTP); p > c.preOK[b] {
+			c.preOK[b] = p
 		}
-		g := c.group(cmd.Bank)
+		g := c.group(b)
 		c.lastCASGroup[g] = now
 		c.lastCASAny = now
 		c.lastRDCmd = now
@@ -572,10 +662,10 @@ func (c *Channel) apply(cmd *Command, now int64) {
 		c.finishBurst(cmd, end)
 	case CmdWR:
 		dataEnd := now + int64(c.T.TWL) + int64(c.T.TBURST)
-		if p := dataEnd + int64(c.T.TWR); p > b.preOK {
-			b.preOK = p
+		if p := dataEnd + int64(c.T.TWR); p > c.preOK[b] {
+			c.preOK[b] = p
 		}
-		g := c.group(cmd.Bank)
+		g := c.group(b)
 		c.lastCASGroup[g] = now
 		c.lastCASAny = now
 		c.wrDataEnd = dataEnd
@@ -594,24 +684,28 @@ func (c *Channel) finishBurst(cmd *Command, dataEnd int64) {
 			panic("dram: last burst issued before siblings")
 		}
 		txn.DoneAt = dataEnd
-		c.banks[cmd.Bank].queuedTxns--
-		score := 1
+		b := cmd.Bank
+		c.queuedTxns[b]--
+		score := int32(1)
 		if !txn.Hit {
 			score = 3
 		}
-		c.banks[cmd.Bank].queuedScore -= score
-		c.banks[cmd.Bank].schedVer++
+		c.queuedScore[b] -= score
+		c.schedVer[b]++
 		if c.OnComplete != nil {
 			c.OnComplete(txn, dataEnd)
 		}
+		c.txnDead = append(c.txnDead, txn)
 	}
 }
 
 // Tick attempts to issue one command on the channel's command bus at tick
 // now, visiting banks in bank-group-interleaved round-robin order so that
 // consecutive column commands prefer different bank groups (lower tCCD).
-// It returns the issued command or nil.
+// It returns the issued command or nil; the returned pointer is only
+// valid until the next Tick (the storage is reused).
 func (c *Channel) Tick(now int64) *Command {
+	c.reclaimTxns(now)
 	if c.maybeRefresh(now) {
 		return nil
 	}
@@ -624,24 +718,23 @@ func (c *Channel) Tick(now int64) *Command {
 		g := (c.rrGroup + i%c.Groups) % c.Groups
 		within := (c.rrBank + i/c.Groups) % perGroup
 		bi := g*perGroup + within
-		b := &c.banks[bi]
-		if len(b.queue) == 0 {
+		if c.queueLen(bi) == 0 {
 			continue
 		}
-		cmd := &b.queue[0]
+		cmd := c.head(bi)
 		if !c.legal(cmd, now) {
 			continue
 		}
-		issued := b.queue[0]
-		b.queue = b.queue[1:]
-		c.apply(&issued, now)
+		c.lastCmd = *cmd
+		c.popHead(bi)
+		c.apply(&c.lastCmd, now)
 		// Advance round-robin past the bank we just served.
 		c.rrGroup = (g + 1) % c.Groups
 		if g == c.Groups-1 {
 			c.rrBank = (within + 1) % perGroup
 		}
 		c.cmdWake = 0 // timing state changed: rescan next tick
-		return &issued
+		return &c.lastCmd
 	}
 	if c.WakeCache {
 		c.cmdWake = c.NextWakeup(now)
@@ -651,11 +744,11 @@ func (c *Channel) Tick(now int64) *Command {
 
 // Idle reports whether the channel has no queued commands at all.
 func (c *Channel) Idle() bool {
-	if len(c.busOnly) > 0 {
+	if len(c.busOnly)-c.boHead > 0 {
 		return false
 	}
-	for i := range c.banks {
-		if len(c.banks[i].queue) > 0 {
+	for i := 0; i < c.NumBanks; i++ {
+		if c.queueLen(i) > 0 {
 			return false
 		}
 	}

@@ -1,0 +1,140 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramlat/internal/gddr5"
+	"dramlat/internal/memreq"
+)
+
+// TestSoABankStateMatchesShadow cross-checks the flattened per-bank state
+// against an independent shadow model fed only by the channel's observable
+// outputs (issued commands and completion callbacks), over randomized
+// traffic:
+//
+//   - OpenRow must track exactly the ACT/PRE command stream;
+//   - QueuedTxns must equal enqueues minus completions per bank;
+//   - SchedVersion must change whenever any scheduler-visible bank triple
+//     (SchedRow, QueuedScore, HitsSinceAct) changes — the staleness
+//     contract the warp-scheduler score cache depends on.
+func TestSoABankStateMatchesShadow(t *testing.T) {
+	const banks = 16
+	rng := rand.New(rand.NewSource(42))
+	c := NewChannel(gddr5.Default(), banks, 4, 4)
+
+	shadowOpen := make([]int, banks)
+	shadowQueued := make([]int, banks)
+	for b := range shadowOpen {
+		shadowOpen[b] = -1
+	}
+	c.OnComplete = func(txn *Transaction, at int64) {
+		shadowQueued[txn.Req.Bank]--
+	}
+
+	type triple struct {
+		row, score, hits int
+		ver              uint32
+	}
+	prev := make([]triple, banks)
+	for b := range prev {
+		prev[b] = triple{row: c.SchedRow(b), score: c.QueuedScore(b), hits: c.HitsSinceAct(b), ver: c.SchedVersion(b)}
+	}
+
+	var id uint64
+	for now := int64(0); now < 30000; now++ {
+		if rng.Intn(3) == 0 {
+			b := rng.Intn(banks)
+			if c.CanAccept(b) {
+				id++
+				c.Enqueue(&memreq.Request{
+					ID: id, Kind: memreq.Kind(rng.Intn(2)),
+					Bank: b, Row: rng.Intn(8), Col: rng.Intn(64) * 2,
+				})
+				shadowQueued[b]++
+			}
+		}
+		if cmd := c.Tick(now); cmd != nil {
+			switch cmd.Type {
+			case CmdACT:
+				shadowOpen[cmd.Bank] = cmd.Row
+			case CmdPRE:
+				shadowOpen[cmd.Bank] = -1
+			}
+		}
+		for b := 0; b < banks; b++ {
+			if got := c.OpenRow(b); got != shadowOpen[b] {
+				t.Fatalf("t=%d bank %d: OpenRow=%d, shadow %d", now, b, got, shadowOpen[b])
+			}
+			if got := c.QueuedTxns(b); got != shadowQueued[b] {
+				t.Fatalf("t=%d bank %d: QueuedTxns=%d, shadow %d", now, b, got, shadowQueued[b])
+			}
+			cur := triple{row: c.SchedRow(b), score: c.QueuedScore(b), hits: c.HitsSinceAct(b), ver: c.SchedVersion(b)}
+			p := prev[b]
+			if (cur.row != p.row || cur.score != p.score || cur.hits != p.hits) && cur.ver == p.ver {
+				t.Fatalf("t=%d bank %d: sched state changed (%+v -> %+v) but SchedVersion did not", now, b, p, cur)
+			}
+			prev[b] = cur
+		}
+	}
+	want := 0
+	for _, q := range shadowQueued {
+		want += boolCount(q > 0)
+	}
+	if got := c.BanksWithQueuedWork(); got != want {
+		t.Fatalf("BanksWithQueuedWork=%d, shadow %d", got, want)
+	}
+}
+
+func boolCount(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestCommandPathSteadyStateAllocs pins the zero-alloc property of the
+// channel's hot loop: with the transaction freelist and per-bank command
+// queues warm, a sustained enqueue/tick/complete cycle must not allocate.
+func TestCommandPathSteadyStateAllocs(t *testing.T) {
+	const banks = 16
+	c := NewChannel(gddr5.Default(), banks, 4, 4)
+	// Recycle request objects through a free stack, like the real system's
+	// pools do.
+	var free []*memreq.Request
+	c.OnComplete = func(txn *Transaction, at int64) {
+		free = append(free, txn.Req)
+	}
+	for i := 0; i < 64; i++ {
+		free = append(free, &memreq.Request{})
+	}
+	var id uint64
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	tick := func() {
+		if len(free) > 0 {
+			b := int(id) % banks
+			if c.CanAccept(b) {
+				r := free[len(free)-1]
+				free = free[:len(free)-1]
+				id++
+				*r = memreq.Request{ID: id, Kind: memreq.Kind(rng.Intn(2)),
+					Bank: b, Row: rng.Intn(4), Col: rng.Intn(64) * 2}
+				c.Enqueue(r)
+			}
+		}
+		c.Tick(now)
+		now++
+	}
+	for i := 0; i < 5000; i++ {
+		tick() // warm the freelists and queue capacity
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			tick()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state channel tick allocated: %.2f allocs per 100 ticks, want 0", avg)
+	}
+}

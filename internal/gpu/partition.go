@@ -31,9 +31,14 @@ type partition struct {
 	x   *xbar.Xbar
 	col *stats.Collector
 
-	pipe    []pipeEntry
-	pipeCap int
-	evictQ  []*memreq.Request // dirty write-backs awaiting the write queue
+	// pipe and evictQ are head-indexed FIFOs: pops advance the head
+	// instead of re-slicing capacity away, and the backing arrays reset
+	// once empty, so the steady state never re-allocates.
+	pipe      []pipeEntry
+	pipeHead  int
+	pipeCap   int
+	evictQ    []*memreq.Request // dirty write-backs awaiting the write queue
+	evictHead int
 
 	// pool recycles this partition's request traffic: absorbed writes and
 	// credits feed the next dirty-eviction write-back. Domain-local, so
@@ -113,7 +118,7 @@ func (p *partition) process(r *memreq.Request, now int64) bool {
 		return true
 	}
 	if r.Kind == memreq.Write {
-		if len(p.evictQ) >= 16 {
+		if len(p.evictQ)-p.evictHead >= 16 {
 			return false // eviction buffer full: stall the pipe
 		}
 		if v, dirty, evicted := p.l2.Fill(r.Addr, true); evicted && dirty {
@@ -164,24 +169,34 @@ func (p *partition) process(r *memreq.Request, now int64) bool {
 func (p *partition) Tick(now int64) {
 	p.didWork = false
 	// Retry buffered dirty evictions first: they must not be lost.
-	for len(p.evictQ) > 0 {
-		if !p.ctl.AcceptWrite(p.evictQ[0], now) {
+	for p.evictHead < len(p.evictQ) {
+		if !p.ctl.AcceptWrite(p.evictQ[p.evictHead], now) {
 			break
 		}
-		p.evictQ = p.evictQ[1:]
+		p.evictQ[p.evictHead] = nil
+		p.evictHead++
 		p.didWork = true
 	}
+	if p.evictHead == len(p.evictQ) {
+		p.evictQ = p.evictQ[:0]
+		p.evictHead = 0
+	}
 	// L2 pipeline: one request per tick.
-	if len(p.pipe) > 0 && p.pipe[0].readyAt <= now {
-		if p.process(p.pipe[0].req, now) {
-			p.pipe = p.pipe[1:]
+	if p.pipeHead < len(p.pipe) && p.pipe[p.pipeHead].readyAt <= now {
+		if p.process(p.pipe[p.pipeHead].req, now) {
+			p.pipe[p.pipeHead] = pipeEntry{}
+			p.pipeHead++
+			if p.pipeHead == len(p.pipe) {
+				p.pipe = p.pipe[:0]
+				p.pipeHead = 0
+			}
 			p.didWork = true
 		}
 	}
 	// Pull new work from the crossbar.
-	if len(p.pipe) < p.pipeCap {
-		if req, pop := p.x.PeekPart(p.id, now); req != nil {
-			pop()
+	if len(p.pipe)-p.pipeHead < p.pipeCap {
+		if req := p.x.PeekPart(p.id, now); req != nil {
+			p.x.PopPart(p.id)
 			p.pipe = append(p.pipe, pipeEntry{req, now + p.l2Lat})
 			p.didWork = true
 		}
@@ -213,11 +228,11 @@ func (p *partition) NextWakeup(now int64) int64 {
 		return now + 1
 	}
 	w := p.ctl.NextWakeup(now)
-	if len(p.evictQ) > 0 && now+1 < w {
+	if len(p.evictQ)-p.evictHead > 0 && now+1 < w {
 		w = now + 1
 	}
-	if len(p.pipe) > 0 {
-		head := p.pipe[0].readyAt
+	if len(p.pipe)-p.pipeHead > 0 {
+		head := p.pipe[p.pipeHead].readyAt
 		if head <= now {
 			head = now + 1
 		}
@@ -277,5 +292,5 @@ func (p *partition) sample(now int64) {
 
 // drained reports whether the partition holds no in-flight work.
 func (p *partition) drained() bool {
-	return len(p.pipe) == 0 && len(p.evictQ) == 0 && p.ctl.Idle()
+	return len(p.pipe)-p.pipeHead == 0 && len(p.evictQ)-p.evictHead == 0 && p.ctl.Idle()
 }

@@ -1,0 +1,66 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramlat/internal/dram"
+	"dramlat/internal/gddr5"
+	"dramlat/internal/memreq"
+)
+
+// TestEnqueueDequeueSteadyStateAllocs pins the zero-alloc property of the
+// controller's hot loop: with the row-sorter structures, write queue and
+// channel freelists warm, a sustained mixed read/write stream through
+// AcceptRead/AcceptWrite, Tick and the completion callbacks must not
+// allocate.
+func TestEnqueueDequeueSteadyStateAllocs(t *testing.T) {
+	ch := dram.NewChannel(gddr5.Default(), 16, 4, 4)
+	ctl := New(ch, NewGMC(), 64, 64, 32, 16)
+
+	var free []*memreq.Request
+	recycle := func(r *memreq.Request, _ int64) { free = append(free, r) }
+	ctl.OnReadDone = recycle
+	ctl.OnWriteDone = recycle
+	for i := 0; i < 128; i++ {
+		free = append(free, &memreq.Request{})
+	}
+
+	var id uint64
+	rng := rand.New(rand.NewSource(3))
+	now := int64(0)
+	tick := func() {
+		if len(free) > 0 {
+			r := free[len(free)-1]
+			id++
+			k := memreq.Read
+			if rng.Intn(4) == 0 {
+				k = memreq.Write
+			}
+			*r = memreq.Request{ID: id, Kind: k,
+				Bank: rng.Intn(16), Row: rng.Intn(6), Col: rng.Intn(64) * 2}
+			ok := false
+			if k == memreq.Read {
+				ok = ctl.AcceptRead(r, now)
+			} else {
+				ok = ctl.AcceptWrite(r, now)
+			}
+			if ok {
+				free = free[:len(free)-1]
+			}
+		}
+		ctl.Tick(now)
+		now++
+	}
+	for i := 0; i < 8000; i++ {
+		tick() // warm every queue and freelist
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			tick()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state controller tick allocated: %.2f allocs per 100 ticks, want 0", avg)
+	}
+}

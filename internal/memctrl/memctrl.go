@@ -108,7 +108,12 @@ type Controller struct {
 	// wqHead are dispatched (and nil). Popping the oldest write — the
 	// common case in nextWrite — advances wqHead instead of memmoving the
 	// whole queue; the backing array is reset once the queue empties.
+	// wqBank/wqRow mirror each entry's bank and row in flat parallel
+	// slices so the oldest-hit-wins scan in nextWrite stays on contiguous
+	// memory instead of dereferencing every queued request.
 	writeQ      []*memreq.Request
+	wqBank      []int32
+	wqRow       []int32
 	wqHead      int
 	draining    bool
 	drainTarget int  // occupancy at which the current drain releases
@@ -215,6 +220,8 @@ func (ctl *Controller) AcceptWrite(r *memreq.Request, now int64) bool {
 	}
 	r.Arrive = now
 	ctl.writeQ = append(ctl.writeQ, r)
+	ctl.wqBank = append(ctl.wqBank, int32(r.Bank))
+	ctl.wqRow = append(ctl.wqRow, int32(r.Row))
 	ctl.Stats.WritesAccepted++
 	if ctl.Probe != nil {
 		ctl.Probe.EnqueueWrite(now, ctl.ChannelID, r, ctl.WriteOccupancy())
@@ -244,14 +251,14 @@ func (ctl *Controller) GroupComplete(g memreq.GroupID, now int64) {
 func (ctl *Controller) nextWrite() *memreq.Request {
 	hit, any := -1, -1
 	for i := ctl.wqHead; i < len(ctl.writeQ); i++ {
-		w := ctl.writeQ[i]
-		if !ctl.Chan.CanAccept(w.Bank) {
+		bank := int(ctl.wqBank[i])
+		if !ctl.Chan.CanAccept(bank) {
 			continue
 		}
 		if any == -1 {
 			any = i
 		}
-		if ctl.Chan.ProjectHit(w.Bank, w.Row) {
+		if ctl.Chan.ProjectHit(bank, int(ctl.wqRow[i])) {
 			hit = i
 			break // oldest hit wins
 		}
@@ -269,11 +276,17 @@ func (ctl *Controller) nextWrite() *memreq.Request {
 		ctl.wqHead++
 	} else {
 		copy(ctl.writeQ[idx:], ctl.writeQ[idx+1:])
+		copy(ctl.wqBank[idx:], ctl.wqBank[idx+1:])
+		copy(ctl.wqRow[idx:], ctl.wqRow[idx+1:])
 		ctl.writeQ[len(ctl.writeQ)-1] = nil
 		ctl.writeQ = ctl.writeQ[:len(ctl.writeQ)-1]
+		ctl.wqBank = ctl.wqBank[:len(ctl.wqBank)-1]
+		ctl.wqRow = ctl.wqRow[:len(ctl.wqRow)-1]
 	}
 	if ctl.wqHead == len(ctl.writeQ) {
 		ctl.writeQ = ctl.writeQ[:0]
+		ctl.wqBank = ctl.wqBank[:0]
+		ctl.wqRow = ctl.wqRow[:0]
 		ctl.wqHead = 0
 	}
 	return w

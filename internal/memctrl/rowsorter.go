@@ -23,6 +23,13 @@ type RowSorter struct {
 	byKey   map[[2]int]*stream
 	perBank [][]*stream // streams per bank in creation order
 	count   int
+	// free recycles retired stream entries (and their request-slice
+	// capacity): the sorter churns through one entry per row locality
+	// burst, so the steady state reuses rather than allocates. No
+	// scheduler retains a *stream across calls (all lookups re-resolve
+	// through StreamFor/OldestStream), so reuse cannot revive a stale
+	// handle.
+	free []*stream
 }
 
 // NewRowSorter builds a sorter for numBanks banks.
@@ -38,7 +45,19 @@ func (rs *RowSorter) Add(r *memreq.Request, now int64) {
 	key := [2]int{r.Bank, r.Row}
 	s, ok := rs.byKey[key]
 	if !ok {
-		s = &stream{bank: r.Bank, row: r.Row, created: now}
+		if n := len(rs.free); n > 0 {
+			s = rs.free[n-1]
+			rs.free = rs.free[:n-1]
+			// The retired entry's capacity tail may still hold pooled
+			// request pointers; clear them so the reused entry starts clean.
+			reqs := s.reqs[:cap(s.reqs)]
+			for i := range reqs {
+				reqs[i] = nil
+			}
+			*s = stream{bank: r.Bank, row: r.Row, created: now, reqs: reqs[:0]}
+		} else {
+			s = &stream{bank: r.Bank, row: r.Row, created: now}
+		}
 		rs.byKey[key] = s
 		rs.perBank[r.Bank] = append(rs.perBank[r.Bank], s)
 	}
@@ -93,7 +112,12 @@ func (rs *RowSorter) OldestHead(bank int) int64 {
 // stream when it empties.
 func (rs *RowSorter) PopFrom(s *stream) *memreq.Request {
 	r := s.reqs[0]
-	s.reqs = s.reqs[1:]
+	// Shift rather than re-slice: streams are short (one row locality
+	// burst), and keeping the slice anchored at its base preserves the
+	// capacity for the recycled entry's next life.
+	copy(s.reqs, s.reqs[1:])
+	s.reqs[len(s.reqs)-1] = nil
+	s.reqs = s.reqs[:len(s.reqs)-1]
 	rs.count--
 	if len(s.reqs) == 0 {
 		rs.retire(s)
@@ -103,6 +127,7 @@ func (rs *RowSorter) PopFrom(s *stream) *memreq.Request {
 
 func (rs *RowSorter) retire(s *stream) {
 	delete(rs.byKey, [2]int{s.bank, s.row})
+	rs.free = append(rs.free, s)
 	bank := rs.perBank[s.bank]
 	for i, e := range bank {
 		if e == s {

@@ -1,0 +1,75 @@
+package sm
+
+import (
+	"testing"
+
+	"dramlat/internal/addrmap"
+	"dramlat/internal/cache"
+	"dramlat/internal/memreq"
+)
+
+// TestIssuePathSteadyStateAllocs pins the zero-alloc property of the SM's
+// hot loop: once the request pool, replay queue, waiter slices and MSHR
+// freelist are warm, ticking an SM through a miss-every-load workload —
+// issue, coalesce, L1 probe, MSHR, inject, response delivery, unblock —
+// must not allocate at all.
+func TestIssuePathSteadyStateAllocs(t *testing.T) {
+	// Program: loads cycling over 64 distinct lines. The L1 holds 32
+	// lines, so every load misses and the full memory path runs forever.
+	const loads = 40000
+	prog := make(Program, loads)
+	addrs := make([][]uint64, 64)
+	for i := range addrs {
+		addrs[i] = []uint64{uint64(i) * 128}
+	}
+	for i := range prog {
+		prog[i] = Insn{Kind: Load, Addrs: addrs[i%len(addrs)]}
+	}
+
+	// The fake memory system echoes every injected request back as the
+	// next tick's response, pointer-identical, like the real crossbar.
+	var queue []*memreq.Request
+	qHead := 0
+	var id uint64
+	cfg := Config{
+		Mapper: addrmap.New(6, 16),
+		L1:     cache.Config{SizeBytes: 4096, LineBytes: 128, Ways: 4, MSHRs: 8},
+		L1Lat:  4,
+		Inject: func(r *memreq.Request, now int64) bool {
+			queue = append(queue, r)
+			return true
+		},
+		NextID: func() uint64 { id++; return id },
+	}
+	s := New(cfg, []Program{prog})
+
+	now := int64(0)
+	tick := func() {
+		var resp *memreq.Request
+		if qHead < len(queue) {
+			resp = queue[qHead]
+			queue[qHead] = nil
+			qHead++
+			if qHead == len(queue) {
+				queue = queue[:0]
+				qHead = 0
+			}
+		}
+		s.Tick(now, resp)
+		now++
+	}
+	for i := 0; i < 2000; i++ {
+		tick() // warm the pools
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			tick()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state SM tick allocated: %.2f allocs per 100 ticks, want 0", avg)
+	}
+	if s.Done() {
+		t.Fatal("workload exhausted during measurement; lengthen the program")
+	}
+}

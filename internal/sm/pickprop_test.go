@@ -1,0 +1,97 @@
+package sm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramlat/internal/cache"
+	"dramlat/internal/memreq"
+)
+
+// loadRefState forces the SM's SoA scheduling state to mirror a refWarp
+// slice, rebuilding every bitmask from scratch.
+func loadRefState(s *SM, warps []refWarp) {
+	for i := range s.doneM {
+		s.doneM[i], s.blockedM[i], s.liveM[i], s.memNextM[i] = 0, 0, 0, 0
+	}
+	for i := range warps {
+		w := &warps[i]
+		if w.Done {
+			bitSet(s.doneM, i)
+		}
+		if w.Blocked {
+			bitSet(s.blockedM, i)
+		}
+		if !w.Done && !w.Blocked {
+			bitSet(s.liveM, i)
+		}
+		if w.MemNext {
+			bitSet(s.memNextM, i)
+		}
+		s.readyAt[i] = w.ReadyAt
+	}
+}
+
+// TestPickWarpMatchesReference drives the bitmask pickWarp in lockstep
+// with the retained array-of-structs reference across randomized warp
+// states, for both policies, pinning the pick, the greedy bookkeeping and
+// the nextReady byproduct of failed scans.
+func TestPickWarpMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dummy := &memreq.Request{}
+	for iter := 0; iter < 20000; iter++ {
+		// Cross the 64-bit word boundaries regularly.
+		n := 1 + rng.Intn(130)
+		progs := make([]Program, n)
+		for i := range progs {
+			progs[i] = Program{{Kind: Compute}}
+		}
+		s := New(Config{
+			L1: cache.Config{SizeBytes: 4096, LineBytes: 128, Ways: 4, MSHRs: 8},
+		}, progs)
+		s.cfg.LRR = rng.Intn(2) == 0
+		now := int64(10 + rng.Intn(100))
+		warps := make([]refWarp, n)
+		for i := range warps {
+			w := &warps[i]
+			w.Done = rng.Intn(4) == 0
+			w.Blocked = rng.Intn(4) == 0
+			w.MemNext = rng.Intn(2) == 0
+			// Mix of already-ready, counting-down and far-future warps.
+			switch rng.Intn(4) {
+			case 0:
+				w.ReadyAt = now - int64(rng.Intn(5))
+			case 1:
+				w.ReadyAt = now + 1 + int64(rng.Intn(6))
+			case 2:
+				w.ReadyAt = now
+			default:
+				w.ReadyAt = never
+			}
+		}
+		loadRefState(s, warps)
+		greedy := rng.Intn(n)
+		s.greedy = greedy
+		replayBusy := rng.Intn(2) == 0
+		if replayBusy {
+			s.replay = append(s.replay[:0], dummy)
+			s.rHead = 0
+		}
+		s.nextReady = -1 // poison: failed scans must overwrite it
+
+		pick := s.pickWarp(now)
+		refPick, refGreedy, refNext := pickWarpRef(warps, greedy, s.cfg.LRR, replayBusy, now)
+		if pick != refPick {
+			t.Fatalf("iter %d (n=%d lrr=%v busy=%v greedy=%d): pick=%d want %d",
+				iter, n, s.cfg.LRR, replayBusy, greedy, pick, refPick)
+		}
+		if s.greedy != refGreedy {
+			t.Fatalf("iter %d (n=%d lrr=%v busy=%v): greedy=%d want %d",
+				iter, n, s.cfg.LRR, replayBusy, s.greedy, refGreedy)
+		}
+		if pick < 0 && s.nextReady != refNext {
+			t.Fatalf("iter %d (n=%d lrr=%v busy=%v): nextReady=%d want %d",
+				iter, n, s.cfg.LRR, replayBusy, s.nextReady, refNext)
+		}
+	}
+}

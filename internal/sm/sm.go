@@ -4,9 +4,17 @@
 // 128B line requests, probes its private L1, and blocks a warp until the
 // last response of its load returns — the SIMT property that makes DRAM
 // latency divergence hurt.
+//
+// Scheduling state is data-oriented: the per-warp flags and timestamps the
+// pickWarp scan reads every cycle live in flat parallel slices and packed
+// bitmask words on the SM (see the "Data-oriented core" section of
+// DESIGN.md), not on *Warp. The Warp struct keeps only the cold per-warp
+// state (program, pending-response bookkeeping, counters).
 package sm
 
 import (
+	"math/bits"
+
 	"dramlat/internal/addrmap"
 	"dramlat/internal/cache"
 	"dramlat/internal/coalesce"
@@ -37,18 +45,18 @@ type Insn struct {
 // Program is a warp's instruction sequence.
 type Program []Insn
 
-// Warp is one warp's execution state.
+// Warp is one warp's cold execution state. The scheduler-scanned hot
+// state (pc, readyAt, done/blocked) lives in flat slices on the owning
+// SM, indexed by ID; the accessors below read it through the back
+// pointer.
 type Warp struct {
 	ID   int
 	Prog Program
 
-	pc         int
-	readyAt    int64
-	blocked    bool
+	sm         *SM
 	curLoad    uint32
 	loadSerial uint32
 	pending    map[uint32]int // outstanding responses per load serial
-	done       bool
 	DoneTick   int64
 	Issued     int64
 }
@@ -104,17 +112,46 @@ type SM struct {
 	warps []*Warp
 	l1    *cache.Cache
 
-	replay  []*memreq.Request // in-order request/credit injection queue
+	// Hot per-warp scheduling state, struct-of-arrays: pickWarp's LRR and
+	// greedy-then-oldest scans are linear passes over these words and
+	// slices with no pointer dereferences. Invariants:
+	//
+	//	liveM  == ^doneM & ^blockedM      (the live-unblocked index)
+	//	memNextM bit w set  <=>  pc[w] < len(Prog) && Prog[pc[w]] is Load/Store
+	//
+	// A warp can be done AND blocked at once (its last instruction was a
+	// blocking load): done is set at issue time, the unblock credit still
+	// arrives later. unblock() therefore re-inserts into liveM only when
+	// the done bit is clear.
+	pc       []int32
+	readyAt  []int64
+	doneM    []uint64
+	blockedM []uint64
+	liveM    []uint64
+	memNextM []uint64
+
+	// replay is the in-order request/credit injection queue, head-indexed
+	// so steady-state pops never re-slice away capacity.
+	replay []*memreq.Request
+	rHead  int
+
 	waiters map[uint64][]waiter
+	// wsFree recycles drained waiter slices so line-merge bookkeeping
+	// stops allocating once the working set is warm.
+	wsFree [][]waiter
 
 	// pool recycles this SM's request allocations: responses it has fully
 	// absorbed (Deliver) and replay-queue requests filtered by the L1
 	// (dropOrCredit) feed the coalescer's next fan-out. Domain-local, so
 	// the parallel engine needs no synchronization around it.
 	pool memreq.Pool
-	// scratch and missBuf are issueLoad's reusable per-call buffers.
+	// scratch, missBuf, lineBuf and chanIdx are issueLoad's reusable
+	// per-call buffers (chanIdx is indexed by channel and tracks the last
+	// request per channel, replacing a per-load map).
 	scratch []*memreq.Request
 	missBuf []uint64
+	lineBuf []uint64
+	chanIdx []int
 
 	greedy int
 	active int
@@ -144,20 +181,59 @@ type SM struct {
 	DoneTick     int64
 }
 
+// bitSet/bitClear/bitTest operate on the packed per-warp flag words.
+func bitSet(m []uint64, i int)       { m[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(m []uint64, i int)     { m[i>>6] &^= 1 << (uint(i) & 63) }
+func bitTest(m []uint64, i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// nextBit returns the index of the first set bit >= from, or -1.
+func nextBit(m []uint64, from int) int {
+	w := from >> 6
+	if w >= len(m) {
+		return -1
+	}
+	word := m[w] & (^uint64(0) << (uint(from) & 63))
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(m) {
+			return -1
+		}
+		word = m[w]
+	}
+}
+
 // New builds an SM running the given per-warp programs.
 func New(cfg Config, programs []Program) *SM {
+	n := len(programs)
+	words := (n + 63) / 64
 	s := &SM{
-		cfg:     cfg,
-		l1:      cache.New(cfg.L1),
-		waiters: make(map[uint64][]waiter),
+		cfg:      cfg,
+		l1:       cache.New(cfg.L1),
+		waiters:  make(map[uint64][]waiter),
+		pc:       make([]int32, n),
+		readyAt:  make([]int64, n),
+		doneM:    make([]uint64, words),
+		blockedM: make([]uint64, words),
+		liveM:    make([]uint64, words),
+		memNextM: make([]uint64, words),
 	}
 	s.L1 = s.l1
+	if cfg.Mapper != nil {
+		s.chanIdx = make([]int, cfg.Mapper.Channels)
+	}
 	for i, p := range programs {
-		w := &Warp{ID: i, Prog: p, pending: make(map[uint32]int)}
+		w := &Warp{ID: i, Prog: p, pending: make(map[uint32]int), sm: s}
 		if len(p) == 0 {
-			w.done = true
+			bitSet(s.doneM, i)
 		} else {
 			s.active++
+			bitSet(s.liveM, i)
+			if p[0].Kind != Compute {
+				bitSet(s.memNextM, i)
+			}
 		}
 		s.warps = append(s.warps, w)
 	}
@@ -168,16 +244,16 @@ func New(cfg Config, programs []Program) *SM {
 func (s *SM) Done() bool { return s.active == 0 }
 
 // ReplayLen reports the LSU replay-queue occupancy (diagnostics).
-func (s *SM) ReplayLen() int { return len(s.replay) }
+func (s *SM) ReplayLen() int { return len(s.replay) - s.rHead }
 
 // Warps exposes warp states (read-only use).
 func (s *SM) Warps() []*Warp { return s.warps }
 
 // Done reports whether the warp has retired.
-func (w *Warp) Done() bool { return w.done }
+func (w *Warp) Done() bool { return bitTest(w.sm.doneM, w.ID) }
 
 // Blocked reports whether the warp is blocked on an outstanding load.
-func (w *Warp) Blocked() bool { return w.blocked }
+func (w *Warp) Blocked() bool { return bitTest(w.sm.blockedM, w.ID) }
 
 // gid builds the group identity for a warp's load.
 func (s *SM) gid(w *Warp, load uint32) memreq.GroupID {
@@ -190,12 +266,30 @@ func (s *SM) gid(w *Warp, load uint32) memreq.GroupID {
 func (s *SM) Deliver(r *memreq.Request, now int64) {
 	s.l1.Fill(r.Addr, false)
 	s.l1.MSHRRelease(r.Addr)
-	ws := s.waiters[r.Addr]
-	delete(s.waiters, r.Addr)
+	ws, ok := s.waiters[r.Addr]
+	if ok {
+		delete(s.waiters, r.Addr)
+	}
 	for _, wt := range ws {
 		s.credit(wt, now)
 	}
+	if ok {
+		s.wsFree = append(s.wsFree, ws[:0])
+	}
 	s.pool.Put(r) // response fully absorbed; nothing references it now
+}
+
+// addWaiter subscribes a (warp, load) pair to a line fill, reusing a
+// drained waiter slice when one is free.
+func (s *SM) addWaiter(addr uint64, wt waiter) {
+	ws, ok := s.waiters[addr]
+	if !ok {
+		if n := len(s.wsFree); n > 0 {
+			ws = s.wsFree[n-1]
+			s.wsFree = s.wsFree[:n-1]
+		}
+	}
+	s.waiters[addr] = append(ws, wt)
 }
 
 // credit delivers one line response to a (warp, load) subscriber.
@@ -210,26 +304,33 @@ func (s *SM) credit(wt waiter, now int64) {
 	} else {
 		w.pending[wt.load] = left
 	}
-	if !w.blocked || wt.load != w.curLoad {
+	if !bitTest(s.blockedM, w.ID) || wt.load != w.curLoad {
 		return
 	}
 	if s.cfg.ZeroDivergence {
 		// The ideal model of Fig 4: the warp resumes as soon as its
 		// first datum returns; the remaining requests still occupy
 		// DRAM bandwidth.
-		w.blocked = false
-		w.readyAt = now + 1
-		if s.cfg.Probe != nil {
-			s.cfg.Probe.LoadUnblock(now, wt.gid)
-		}
+		s.unblock(w.ID, now, wt.gid)
 		return
 	}
 	if left <= 0 {
-		w.blocked = false
-		w.readyAt = now + 1
-		if s.cfg.Probe != nil {
-			s.cfg.Probe.LoadUnblock(now, wt.gid)
-		}
+		s.unblock(w.ID, now, wt.gid)
+	}
+}
+
+// unblock clears a warp's blocked bit and re-inserts it into the
+// live-unblocked index — unless it retired at issue time (its last
+// instruction was the blocking load), in which case it must never
+// reappear in the scheduler scan.
+func (s *SM) unblock(wi int, now int64, gid memreq.GroupID) {
+	bitClear(s.blockedM, wi)
+	if !bitTest(s.doneM, wi) {
+		bitSet(s.liveM, wi)
+	}
+	s.readyAt[wi] = now + 1
+	if s.cfg.Probe != nil {
+		s.cfg.Probe.LoadUnblock(now, gid)
 	}
 }
 
@@ -239,13 +340,13 @@ func (s *SM) credit(wt waiter, now int64) {
 // hide that latency with (Section III-A), which is the condition the
 // paper's schedulers attack.
 func (s *SM) classifyStall() {
-	for _, w := range s.warps {
-		if !w.done && w.blocked {
+	for i, b := range s.blockedM {
+		if b&^s.doneM[i] != 0 {
 			s.IdleMemTicks++
 			return
 		}
 	}
-	if len(s.replay) > 0 {
+	if s.ReplayLen() > 0 {
 		s.IdleLSUTicks++
 	}
 }
@@ -273,7 +374,7 @@ func (s *SM) Tick(now int64, resp *memreq.Request) {
 // SM is quiescent until external input. Call it right after Tick(now):
 // it reads the nextReady bound that Tick's warp scan left behind.
 func (s *SM) NextWakeup(now int64) int64 {
-	if len(s.replay) > 0 || s.issuedLast {
+	if s.ReplayLen() > 0 || s.issuedLast {
 		return now + 1
 	}
 	if s.nextReady <= now {
@@ -297,8 +398,8 @@ func (s *SM) CatchUp(k int64) {
 	}
 	s.IdleTicks += k
 	if s.cfg.ClassifyStalls {
-		for _, w := range s.warps {
-			if !w.done && w.blocked {
+		for i, b := range s.blockedM {
+			if b&^s.doneM[i] != 0 {
 				s.IdleMemTicks += k
 				return
 			}
@@ -310,13 +411,13 @@ func (s *SM) CatchUp(k int64) {
 // the L1 and its MSHRs at injection time (a line may have been filled or
 // requested by another warp while queued).
 func (s *SM) drainReplay(now int64) {
-	for len(s.replay) > 0 {
-		r := s.replay[0]
+	for s.rHead < len(s.replay) {
+		r := s.replay[s.rHead]
 		if r.CreditOnly {
 			if !s.cfg.Inject(r, now) {
 				return
 			}
-			s.replay = s.replay[1:]
+			s.popReplay()
 			continue
 		}
 		wt := waiter{w: s.warps[r.Group.Warp], load: r.Group.Load, gid: r.Group}
@@ -329,7 +430,7 @@ func (s *SM) drainReplay(now int64) {
 			}
 			if m := s.l1.MSHRFor(r.Addr); m != nil {
 				// Another warp already fetched this line: merge.
-				s.waiters[r.Addr] = append(s.waiters[r.Addr], wt)
+				s.addWaiter(r.Addr, wt)
 				s.dropOrCredit(r)
 				continue
 			}
@@ -341,15 +442,26 @@ func (s *SM) drainReplay(now int64) {
 				s.l1.MSHRRelease(r.Addr)
 				return
 			}
-			s.waiters[r.Addr] = append(s.waiters[r.Addr], wt)
-			s.replay = s.replay[1:]
+			s.addWaiter(r.Addr, wt)
+			s.popReplay()
 			continue
 		}
 		// Store write-through: no waiter, no response.
 		if !s.cfg.Inject(r, now) {
 			return
 		}
-		s.replay = s.replay[1:]
+		s.popReplay()
+	}
+}
+
+// popReplay advances the head index; a fully drained queue resets to
+// reuse its capacity from the front.
+func (s *SM) popReplay() {
+	s.replay[s.rHead] = nil
+	s.rHead++
+	if s.rHead == len(s.replay) {
+		s.replay = s.replay[:0]
+		s.rHead = 0
 	}
 }
 
@@ -362,19 +474,19 @@ func (s *SM) dropOrCredit(r *memreq.Request) {
 		c.ID, c.Kind, c.Addr = s.cfg.NextID(), memreq.Read, r.Addr
 		c.Group, c.CreditOnly = r.Group, true
 		c.Channel, c.Bank, c.Row, c.Col = r.Channel, r.Bank, r.Row, r.Col
-		s.replay[0] = c
+		s.replay[s.rHead] = c
 		s.pool.Put(r)
 		return
 	}
-	s.replay = s.replay[1:]
+	s.popReplay()
 	s.pool.Put(r)
 }
 
 // issue picks a warp greedy-then-oldest and issues its next instruction.
 func (s *SM) issue(now int64) {
-	w := s.pickWarp(now)
-	s.issuedLast = w != nil
-	if w == nil {
+	wi := s.pickWarp(now)
+	s.issuedLast = wi >= 0
+	if wi < 0 {
 		if s.active > 0 {
 			s.IdleTicks++
 			if s.cfg.ClassifyStalls {
@@ -384,20 +496,29 @@ func (s *SM) issue(now int64) {
 		return
 	}
 	s.ActiveTicks++
-	insn := w.Prog[w.pc]
-	w.pc++
+	w := s.warps[wi]
+	pc := int(s.pc[wi])
+	insn := w.Prog[pc]
+	pc++
+	s.pc[wi] = int32(pc)
 	w.Issued++
 	s.InstrIssued++
+	if pc < len(w.Prog) && w.Prog[pc].Kind != Compute {
+		bitSet(s.memNextM, wi)
+	} else {
+		bitClear(s.memNextM, wi)
+	}
 	switch insn.Kind {
 	case Compute:
-		w.readyAt = now + 1
+		s.readyAt[wi] = now + 1
 	case Load:
 		s.issueLoad(w, insn, now)
 	case Store:
 		s.issueStore(w, insn, now)
 	}
-	if w.pc >= len(w.Prog) && !w.done {
-		w.done = true
+	if pc >= len(w.Prog) && !bitTest(s.doneM, wi) {
+		bitSet(s.doneM, wi)
+		bitClear(s.liveM, wi)
 		w.DoneTick = now
 		s.active--
 		if s.active == 0 {
@@ -406,56 +527,69 @@ func (s *SM) issue(now int64) {
 	}
 }
 
-func (s *SM) pickWarp(now int64) *Warp {
+// pickWarp selects the next warp to issue, returning its index or -1.
+// Both policies walk the packed live-unblocked index (liveM), so done or
+// blocked warps cost nothing — a failed scan touches only the flat
+// readyAt/memNextM state of warps that could actually run. The scan
+// semantics are pinned against the retained pre-SoA reference
+// implementation (pickWarpRef) by TestPickWarpMatchesReference.
+func (s *SM) pickWarp(now int64) int {
 	// A failed scan has examined every live unblocked warp, so it records
 	// the min readyAt for NextWakeup on the way (the greedy pre-check may
 	// feed the same warp twice; min is idempotent).
 	nextReady := never
-	ready := func(w *Warp) bool {
-		if w.done || w.blocked {
-			return false
-		}
-		if w.readyAt > now {
-			if w.readyAt < nextReady {
-				nextReady = w.readyAt
+	replayBusy := s.rHead < len(s.replay)
+	// try reports whether live warp wi can issue at now. Memory
+	// instructions wait for the LSU queue to drain so that per-channel
+	// request order matches the tagging order.
+	try := func(wi int) bool {
+		if r := s.readyAt[wi]; r > now {
+			if r < nextReady {
+				nextReady = r
 			}
 			return false
 		}
-		// Memory instructions wait for the LSU queue to drain so that
-		// per-channel request order matches the tagging order.
-		if len(s.replay) > 0 && w.Prog[w.pc].Kind != Compute {
-			return false
-		}
-		return true
+		return !(replayBusy && bitTest(s.memNextM, wi))
 	}
 	if s.cfg.LRR {
 		// Loose round-robin: rotate past the last issuer.
-		for i := 1; i <= len(s.warps); i++ {
-			w := s.warps[(s.greedy+i)%len(s.warps)]
-			if ready(w) {
-				s.greedy = w.ID
-				return w
+		n := len(s.warps)
+		start := s.greedy + 1
+		if start >= n {
+			start = 0
+		}
+		for wi := nextBit(s.liveM, start); wi >= 0; wi = nextBit(s.liveM, wi+1) {
+			if try(wi) {
+				s.greedy = wi
+				return wi
+			}
+		}
+		for wi := nextBit(s.liveM, 0); wi >= 0 && wi < start; wi = nextBit(s.liveM, wi+1) {
+			if try(wi) {
+				s.greedy = wi
+				return wi
 			}
 		}
 		s.nextReady = nextReady
-		return nil
+		return -1
 	}
 	// Greedy-then-oldest.
-	if g := s.warps[s.greedy]; ready(g) {
+	if g := s.greedy; bitTest(s.liveM, g) && try(g) {
 		return g
 	}
-	for i, w := range s.warps {
-		if ready(w) {
-			s.greedy = i
-			return w
+	for wi := nextBit(s.liveM, 0); wi >= 0; wi = nextBit(s.liveM, wi+1) {
+		if try(wi) {
+			s.greedy = wi
+			return wi
 		}
 	}
 	s.nextReady = nextReady
-	return nil
+	return -1
 }
 
 func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
-	lines := coalesce.Lines(insn.Addrs)
+	lines := coalesce.LinesInto(s.lineBuf, insn.Addrs)
+	s.lineBuf = lines
 	if s.cfg.PerfectCoalescing && len(lines) > 1 {
 		lines = lines[:1]
 	}
@@ -476,7 +610,7 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 		s.cfg.Collector.OnLoadIssue(gid, now, len(lines), len(missing))
 	}
 	if len(missing) == 0 {
-		w.readyAt = now + s.cfg.L1Lat
+		s.readyAt[w.ID] = now + s.cfg.L1Lat
 		return
 	}
 	if s.cfg.Probe != nil {
@@ -486,12 +620,17 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 	}
 	w.pending[load] = len(missing)
 	w.curLoad = load
-	w.blocked = true
+	bitSet(s.blockedM, w.ID)
+	bitClear(s.liveM, w.ID)
 
 	// Build all requests up front so the last request per channel can be
-	// tagged; enqueue in order on the LSU replay queue.
+	// tagged; enqueue in order on the LSU replay queue. chanIdx (indexed
+	// by channel, reset per load) replaces a per-load map allocation.
 	reqs := s.scratch[:0]
-	lastToChannel := make(map[int]int)
+	for i := range s.chanIdx {
+		s.chanIdx[i] = -1
+	}
+	channels := 0
 	for i, line := range missing {
 		c := s.cfg.Mapper.Decode(line)
 		r := s.pool.Get()
@@ -499,13 +638,18 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 		r.Group, r.Issue = gid, now
 		r.Channel, r.Bank, r.Row, r.Col = c.Channel, c.Bank, c.Row, c.Col
 		reqs = append(reqs, r)
-		lastToChannel[c.Channel] = i
+		if s.chanIdx[c.Channel] < 0 {
+			channels++
+		}
+		s.chanIdx[c.Channel] = i
 	}
-	for _, i := range lastToChannel {
-		reqs[i].LastInChannel = true
+	for _, i := range s.chanIdx {
+		if i >= 0 {
+			reqs[i].LastInChannel = true
+		}
 	}
 	for _, r := range reqs {
-		r.GroupChannels = uint8(len(lastToChannel))
+		r.GroupChannels = uint8(channels)
 	}
 	if s.cfg.ZeroDivergence {
 		// Fig 4 ideal: every request after the first is a pure bus
@@ -520,7 +664,8 @@ func (s *SM) issueLoad(w *Warp, insn Insn, now int64) {
 }
 
 func (s *SM) issueStore(w *Warp, insn Insn, now int64) {
-	lines := coalesce.Lines(insn.Addrs)
+	lines := coalesce.LinesInto(s.lineBuf, insn.Addrs)
+	s.lineBuf = lines
 	if s.cfg.PerfectCoalescing && len(lines) > 1 {
 		lines = lines[:1]
 	}
@@ -541,6 +686,6 @@ func (s *SM) issueStore(w *Warp, insn Insn, now int64) {
 		r.Channel, r.Bank, r.Row, r.Col = c.Channel, c.Bank, c.Row, c.Col
 		s.replay = append(s.replay, r)
 	}
-	w.readyAt = now + 1
+	s.readyAt[w.ID] = now + 1
 	s.drainReplay(now)
 }

@@ -29,9 +29,9 @@ type wakeResp struct {
 func (h *wakeHarness) fingerprint() string {
 	s := h.sm
 	out := fmt.Sprintf("ii=%d at=%d act=%d rep=%d wtr=%d inj=%d|",
-		s.InstrIssued, s.ActiveTicks, s.active, len(s.replay), len(s.waiters), h.injected)
+		s.InstrIssued, s.ActiveTicks, s.active, s.ReplayLen(), len(s.waiters), h.injected)
 	for _, w := range s.warps {
-		out += fmt.Sprintf("w%d:%d,%d,%v,%v,%d;", w.ID, w.pc, w.Issued, w.blocked, w.done, w.readyAt)
+		out += fmt.Sprintf("w%d:%d,%d,%v,%v,%d;", w.ID, s.pc[w.ID], w.Issued, w.Blocked(), w.Done(), s.readyAt[w.ID])
 	}
 	return out
 }

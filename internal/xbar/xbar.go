@@ -107,6 +107,15 @@ type Xbar struct {
 	curSM  []int    // per-partition sticky SM (NoInterleave)
 	rrResp []int    // per-SM partition rotation
 
+	// pendSM/pendRot record, per partition, which SM's head the last
+	// successful PeekPart returned and the round-robin rotation PopPart
+	// must apply when it consumes it. Keeping the pending pop as flat
+	// per-partition state (written only by the partition's own phase
+	// domain) lets PeekPart avoid allocating a pop closure per request
+	// on the hottest crossbar path.
+	pendSM  []int
+	pendRot []int
+
 	// Wakeup bookkeeping for the event-driven system loop. reqWake and
 	// respWake are lower bounds on the earliest head readyAt of the
 	// queues toward a partition / an SM: min-updated on insert (exact
@@ -135,6 +144,8 @@ func New(numSM, numPart int, latency int64, capPerQueue int) *Xbar {
 		toSM:     make([][]ring, numPart),
 		rrReq:    make([]int, numPart),
 		curSM:    make([]int, numPart),
+		pendSM:   make([]int, numPart),
+		pendRot:  make([]int, numPart),
 		rrResp:   make([]int, numSM),
 		reqWake:  make([]int64, numPart),
 		respWake: make([]int64, numSM),
@@ -190,11 +201,13 @@ func (x *Xbar) Inject(sm int, req *memreq.Request, now int64) bool {
 }
 
 // PeekPart returns the next request deliverable to partition `part` at tick
-// now without removing it, plus a pop function to consume it. It returns
-// nil when nothing is ready. Arbitration is round-robin across SMs (or
-// sticky per-SM in NoInterleave mode); each (SM, partition) FIFO preserves
-// order.
-func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
+// now without removing it; PopPart(part) consumes it. It returns nil when
+// nothing is ready. Arbitration is round-robin across SMs (or sticky
+// per-SM in NoInterleave mode); each (SM, partition) FIFO preserves
+// order. A successful peek must be consumed (or re-peeked) before the
+// partition's state changes: PopPart pops whatever the last PeekPart on
+// that partition selected.
+func (x *Xbar) PeekPart(part int, now int64) *memreq.Request {
 	if x.NoInterleave {
 		// Stick with the current SM while it has anything queued.
 		cur := x.curSM[part]
@@ -210,36 +223,47 @@ func (x *Xbar) PeekPart(part int, now int64) (*memreq.Request, func()) {
 			}
 		}
 		x.curSM[part] = -1
-		return nil, nil
+		return nil
 	}
 	// reqWake is a lower bound on the earliest head readyAt, so a future
 	// bound proves the SM scan below would find nothing. The arbitration
 	// state is untouched either way (rrReq only moves on a pop).
 	if atomic.LoadInt64(&x.queuedTo[part]) == 0 || atomic.LoadInt64(&x.reqWake[part]) > now {
-		return nil, nil
+		return nil
 	}
 	for i := 0; i < x.NumSM; i++ {
 		sm := (x.rrReq[part] + i) % x.NumSM
-		if req, pop := x.headIfReady(sm, part, now); req != nil {
-			rot := (sm + 1) % x.NumSM
-			return req, func() { pop(); x.rrReq[part] = rot }
+		if req := x.headIfReady(sm, part, now); req != nil {
+			x.pendRot[part] = (sm + 1) % x.NumSM
+			return req
 		}
 	}
 	// Nothing ready: tighten the wake bound to the true earliest head so
 	// the event loop can skip this partition until a request matures.
 	x.recomputeReqWake(part)
-	return nil, nil
+	return nil
 }
 
-func (x *Xbar) headIfReady(sm, part int, now int64) (*memreq.Request, func()) {
+// headIfReady returns the head of the (sm, part) FIFO when it has
+// matured, recording it as the partition's pending pop.
+func (x *Xbar) headIfReady(sm, part int, now int64) *memreq.Request {
 	q := &x.toPart[sm][part]
 	if q.len() == 0 || q.front().readyAt > now {
-		return nil, nil
+		return nil
 	}
-	return q.front().req, func() {
-		q.pop()
-		atomic.AddInt64(&x.queuedTo[part], -1)
-		x.recomputeReqWake(part)
+	x.pendSM[part] = sm
+	x.pendRot[part] = -1 // NoInterleave rotates eagerly in PeekPart
+	return q.front().req
+}
+
+// PopPart consumes the request the last successful PeekPart(part, ·)
+// returned, advancing the round-robin arbitration past its SM.
+func (x *Xbar) PopPart(part int) {
+	x.toPart[x.pendSM[part]][part].pop()
+	atomic.AddInt64(&x.queuedTo[part], -1)
+	x.recomputeReqWake(part)
+	if rot := x.pendRot[part]; rot >= 0 {
+		x.rrReq[part] = rot
 	}
 }
 

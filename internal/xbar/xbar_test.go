@@ -19,15 +19,15 @@ func TestLatencyAndDelivery(t *testing.T) {
 	if !x.Inject(0, r, 100) {
 		t.Fatal("inject failed")
 	}
-	if got, _ := x.PeekPart(1, 105); got != nil {
+	if got := x.PeekPart(1, 105); got != nil {
 		t.Fatal("delivered before latency elapsed")
 	}
-	got, pop := x.PeekPart(1, 110)
+	got := x.PeekPart(1, 110)
 	if got != r {
 		t.Fatalf("got %v", got)
 	}
-	pop()
-	if got, _ := x.PeekPart(1, 111); got != nil {
+	x.PopPart(1)
+	if got := x.PeekPart(1, 111); got != nil {
 		t.Fatal("request not consumed")
 	}
 }
@@ -38,11 +38,11 @@ func TestPerSMOrderPreserved(t *testing.T) {
 		x.Inject(0, req(uint64(i), 0, 0), 0)
 	}
 	for i := 0; i < 5; i++ {
-		got, pop := x.PeekPart(0, 0)
+		got := x.PeekPart(0, 0)
 		if got == nil || got.ID != uint64(i) {
 			t.Fatalf("position %d: got %v", i, got)
 		}
-		pop()
+		x.PopPart(0)
 	}
 }
 
@@ -54,11 +54,11 @@ func TestSMsInterleave(t *testing.T) {
 	}
 	var order []uint64
 	for {
-		got, pop := x.PeekPart(0, 0)
+		got := x.PeekPart(0, 0)
 		if got == nil {
 			break
 		}
-		pop()
+		x.PopPart(0)
 		order = append(order, got.ID)
 	}
 	want := []uint64{10, 20, 11, 21, 12, 22}
@@ -78,11 +78,11 @@ func TestNoInterleaveDrainsOneSM(t *testing.T) {
 	}
 	var order []uint64
 	for {
-		got, pop := x.PeekPart(0, 0)
+		got := x.PeekPart(0, 0)
 		if got == nil {
 			break
 		}
-		pop()
+		x.PopPart(0)
 		order = append(order, got.ID)
 	}
 	want := []uint64{10, 11, 12, 20, 21, 22}
@@ -139,8 +139,8 @@ func TestEmpty(t *testing.T) {
 	if x.Empty() {
 		t.Fatal("empty with queued request")
 	}
-	_, pop := x.PeekPart(0, 0)
-	pop()
+	x.PeekPart(0, 0)
+	x.PopPart(0)
 	x.Respond(0, req(2, 0, 0), 0)
 	if x.Empty() {
 		t.Fatal("empty with queued response")
@@ -161,8 +161,8 @@ func TestPartitionRoundRobinFair(t *testing.T) {
 	}
 	counts := map[uint16]int{}
 	for i := 0; i < 30; i++ {
-		got, pop := x.PeekPart(0, 0)
-		pop()
+		got := x.PeekPart(0, 0)
+		x.PopPart(0)
 		counts[got.Group.SM]++
 	}
 	for s := uint16(0); s < 3; s++ {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
 	"time"
 
 	"dramlat"
@@ -48,6 +49,17 @@ type Entry struct {
 	VisitedFrac  float64 `json:"visited_frac"`
 	SMTickFrac   float64 `json:"sm_tick_frac"`
 	PartTickFrac float64 `json:"part_tick_frac"`
+}
+
+// Report wraps the matrix with the host context needed to read it.
+type Report struct {
+	HostCores  int `json:"host_cores"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Caveat is set when the host has fewer cores than GOMAXPROCS: the
+	// Go runtime then time-slices its threads and wall-clock numbers
+	// include scheduler noise the benchmark does not control.
+	Caveat  string  `json:"caveat,omitempty"`
+	Entries []Entry `json:"entries"`
 }
 
 type cell struct {
@@ -165,9 +177,20 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	rep := Report{
+		HostCores:  runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Entries:    entries,
+	}
+	if rep.HostCores < rep.GOMAXPROCS {
+		rep.Caveat = fmt.Sprintf(
+			"host has %d core(s) but GOMAXPROCS is %d: wall-clock timings include runtime thread time-slicing noise",
+			rep.HostCores, rep.GOMAXPROCS)
+		fmt.Fprintln(os.Stderr, "bench3: WARNING:", rep.Caveat)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(entries); err != nil {
+	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "bench3:", err)
 		os.Exit(1)
 	}

@@ -61,8 +61,12 @@ type Entry struct {
 
 // Report wraps the matrix with the host context needed to interpret it.
 type Report struct {
-	HostCores  int     `json:"host_cores"`
-	Reps       int     `json:"reps"`
+	HostCores int `json:"host_cores"`
+	Reps      int `json:"reps"`
+	// Caveat is set when the host cannot actually schedule the largest
+	// GOMAXPROCS point of the sweep: those cells then measure barrier
+	// overhead on an oversubscribed host, not a parallel speedup.
+	Caveat     string  `json:"caveat,omitempty"`
 	BestSpeed  float64 `json:"best_speedup"`
 	BestConfig string  `json:"best_speedup_config"`
 	Entries    []Entry `json:"entries"`
@@ -197,6 +201,14 @@ func main() {
 				serialMin.Round(time.Microsecond), parMin.Round(time.Microsecond), pr.Speedup)
 		}
 		rep.Entries = append(rep.Entries, e)
+	}
+
+	maxProcs := procsPoints[len(procsPoints)-1]
+	if hostCores < maxProcs {
+		rep.Caveat = fmt.Sprintf(
+			"host has %d core(s) but the sweep runs GOMAXPROCS up to %d: oversubscribed points measure barrier overhead, NOT a parallel speedup; only points with gomaxprocs <= %d are trustworthy",
+			hostCores, maxProcs, hostCores)
+		fmt.Fprintln(os.Stderr, "bench5: WARNING:", rep.Caveat)
 	}
 
 	w := os.Stdout

@@ -1,0 +1,225 @@
+// Command bench8 measures the data-oriented hot-path core (PR 8) and
+// emits BENCH_8.json: single-thread ticks-per-second and allocations per
+// run for bfs/spmv/cfd under all three engines (dense, event, parallel).
+// Dense and event are timed at GOMAXPROCS=1 — they are the single-thread
+// trajectory; the parallel engine is timed at the host's GOMAXPROCS and
+// is only a parallel-speedup measurement when the host actually has the
+// cores (see the caveat field).
+//
+// Run it twice to build a before/after record: once on the old tree with
+// -o before.json, then on the new tree with -baseline before.json, which
+// embeds the old numbers next to the new ones and computes the
+// improvement ratios per cell. Workload construction is excluded from
+// all timings; each cell is timed over -reps alternating runs and the
+// minimum wall time is reported. Allocations are a runtime.MemStats
+// Mallocs delta around a dedicated (untimed) run.
+//
+// Usage:
+//
+//	go run ./scripts/bench8 [-o BENCH_8.json] [-baseline before.json]
+//	    [-reps 3] [-scale 0.1] [-sched wg-w]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dramlat/internal/gpu"
+	"dramlat/internal/workload"
+)
+
+// Cell is one benchmark x engine measurement.
+type Cell struct {
+	Benchmark string  `json:"benchmark"`
+	Engine    string  `json:"engine"`
+	GOMAXPROC int     `json:"gomaxprocs"`
+	Ticks     int64   `json:"ticks"`
+	WallNS    int64   `json:"wall_ns"`
+	TicksPS   float64 `json:"ticks_per_sec"`
+	AllocsRun uint64  `json:"allocs_per_run"`
+
+	// Before/after deltas, present when -baseline is given and the
+	// baseline file has a matching cell.
+	BaseTicksPS   float64 `json:"baseline_ticks_per_sec,omitempty"`
+	BaseAllocsRun uint64  `json:"baseline_allocs_per_run,omitempty"`
+	SpeedupX      float64 `json:"speedup_vs_baseline,omitempty"`
+	AllocsRatio   float64 `json:"allocs_vs_baseline,omitempty"`
+}
+
+// Report wraps the matrix with the host context needed to interpret it.
+type Report struct {
+	HostCores int     `json:"host_cores"`
+	Reps      int     `json:"reps"`
+	Scale     float64 `json:"scale"`
+	Scheduler string  `json:"scheduler"`
+	SMs       int     `json:"sms"`
+	WarpsPT   int     `json:"warps_per_sm"`
+	// Caveat is set when the host cannot actually schedule the maximum
+	// GOMAXPROCS used by any cell: parallel-engine numbers then measure
+	// barrier overhead, not a speedup. Single-thread cells are unaffected.
+	Caveat string `json:"caveat,omitempty"`
+	Cells  []Cell `json:"cells"`
+}
+
+const warpsPerSM = 32
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench8:", err)
+	os.Exit(1)
+}
+
+func build(bench string, sms int, scale float64) gpu.Workload {
+	p := workload.DefaultParams()
+	p.Scale = scale
+	p.NumSMs = sms
+	p.WarpsPerSM = warpsPerSM
+	b, err := workload.ByName(bench)
+	if err != nil {
+		fail(err)
+	}
+	return b.Build(p)
+}
+
+func run(bench, sched, engine string, sms int, w gpu.Workload) (gpu.Results, time.Duration) {
+	cfg := gpu.DefaultConfig()
+	cfg.Scheduler = sched
+	cfg.NumSMs = sms
+	cfg.WarpsPerSM = warpsPerSM
+	cfg.Engine = engine
+	sys, err := gpu.NewSystem(cfg, w)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	res, err := sys.Run()
+	if err != nil {
+		fail(err)
+	}
+	return res, time.Since(start)
+}
+
+// allocsPerRun measures the Mallocs delta of one full run (construction
+// included: NewSystem's fixed setup cost is identical before and after,
+// so the delta between trees is the steady-state story).
+func allocsPerRun(bench, sched, engine string, sms int, w gpu.Workload) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run(bench, sched, engine, sms, w)
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+func main() {
+	out := flag.String("o", "BENCH_8.json", "output file (\"-\" = stdout)")
+	baseline := flag.String("baseline", "", "prior bench8 JSON to diff against")
+	reps := flag.Int("reps", 3, "timed repetitions per cell (minimum is reported)")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	sched := flag.String("sched", "wg-w", "transaction scheduler")
+	sms := flag.Int("sms", 30, "streaming multiprocessors")
+	flag.Parse()
+
+	var base *Report
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fail(err)
+		}
+	}
+	baseCell := func(bench, engine string) *Cell {
+		if base == nil {
+			return nil
+		}
+		for i := range base.Cells {
+			c := &base.Cells[i]
+			if c.Benchmark == bench && c.Engine == engine {
+				return c
+			}
+		}
+		return nil
+	}
+
+	hostCores := runtime.NumCPU()
+	origProcs := runtime.GOMAXPROCS(0)
+	rep := Report{
+		HostCores: hostCores, Reps: *reps, Scale: *scale,
+		Scheduler: *sched, SMs: *sms, WarpsPT: warpsPerSM,
+	}
+	maxProcs := 1
+	for _, bench := range []string{"bfs", "spmv", "cfd"} {
+		w := build(bench, *sms, *scale)
+		for _, engine := range []string{gpu.EngineDense, gpu.EngineEvent, gpu.EngineParallel} {
+			procs := 1
+			if engine == gpu.EngineParallel {
+				procs = origProcs
+			}
+			if procs > maxProcs {
+				maxProcs = procs
+			}
+			runtime.GOMAXPROCS(procs)
+			var minDT time.Duration
+			var res gpu.Results
+			for r := 0; r < *reps; r++ {
+				rr, dt := run(bench, *sched, engine, *sms, w)
+				if r == 0 || dt < minDT {
+					minDT = dt
+				}
+				res = rr
+			}
+			allocs := allocsPerRun(bench, *sched, engine, *sms, w)
+			runtime.GOMAXPROCS(origProcs)
+			c := Cell{
+				Benchmark: bench, Engine: engine, GOMAXPROC: procs,
+				Ticks: res.Ticks, WallNS: minDT.Nanoseconds(),
+				TicksPS:   float64(res.Ticks) / minDT.Seconds(),
+				AllocsRun: allocs,
+			}
+			if bc := baseCell(bench, engine); bc != nil {
+				c.BaseTicksPS = bc.TicksPS
+				c.BaseAllocsRun = bc.AllocsRun
+				if bc.TicksPS > 0 {
+					c.SpeedupX = c.TicksPS / bc.TicksPS
+				}
+				if bc.AllocsRun > 0 {
+					c.AllocsRatio = float64(c.AllocsRun) / float64(bc.AllocsRun)
+				}
+			}
+			rep.Cells = append(rep.Cells, c)
+			extra := ""
+			if c.SpeedupX > 0 {
+				extra = fmt.Sprintf(" %5.2fx ticks/s, %.2fx allocs vs baseline", c.SpeedupX, c.AllocsRatio)
+			}
+			fmt.Fprintf(os.Stderr, "%-5s %-9s procs=%d ticks=%-9d wall=%-10s %12.0f ticks/s allocs=%-9d%s\n",
+				bench, engine, procs, c.Ticks, minDT.Round(time.Microsecond), c.TicksPS, c.AllocsRun, extra)
+		}
+	}
+	if hostCores < maxProcs {
+		rep.Caveat = fmt.Sprintf(
+			"host has %d core(s) but cells were run at GOMAXPROCS up to %d: parallel-engine numbers measure barrier overhead on an oversubscribed host, NOT a parallel speedup; only the single-thread (gomaxprocs=1) cells are trustworthy",
+			hostCores, maxProcs)
+		fmt.Fprintln(os.Stderr, "bench8: WARNING:", rep.Caveat)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+}

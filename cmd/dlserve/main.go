@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dramlat"
+	"dramlat/internal/metrics"
 	"dramlat/internal/sweep"
 	"dramlat/internal/sweepd"
 )
@@ -69,6 +70,9 @@ func main() {
 	traceEvents := flag.Bool("trace-events", false, "capture per-spec telemetry for every executed spec, not just jobs that request it")
 	traceCap := flag.Int("trace-cap", 0, "cap on captured events per run (0 = unlimited)")
 	sampleEvery := flag.Int64("sample-every", 0, "interval-sample cadence in ticks for captured telemetry (0 = default)")
+	fleetOnly := flag.Bool("fleet-only", false, "run no local simulations; every spec waits for a remote dlwork worker to claim it")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease duration before a silent worker is presumed dead (0 = 30s)")
+	leaseAttempts := flag.Int("lease-attempts", 0, "expired leases per spec before it is quarantined (0 = 3)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	adminAddr := flag.String("admin", "", "separate listen address for /metrics, /healthz and (with -pprof) /debug/pprof; empty serves them on -addr")
 	verbose := flag.Bool("v", false, "log every finished spec, not just job lifecycle")
@@ -107,7 +111,11 @@ func main() {
 		}
 	}
 
-	srv := sweepd.New(eng, logger)
+	opts := sweepd.Options{LeaseTTL: *leaseTTL, LeaseAttempts: *leaseAttempts}
+	if *fleetOnly {
+		opts.LocalWorkers = -1
+	}
+	srv := sweepd.NewWithOptions(eng, logger, metrics.Default, opts)
 	handler := srv.Handler()
 	if *pprofOn && *adminAddr == "" {
 		handler = withPprof(handler)

@@ -41,6 +41,11 @@ type StallDump = guard.StallDump
 // invariant checks; it surfaces as the Panic field of a RunError.
 type InvariantViolation = guard.InvariantViolation
 
+// QuarantineError marks a poison spec the sweep fleet retired after
+// repeated worker deaths: its job completes with this failure instead
+// of retrying forever.
+type QuarantineError = guard.QuarantineError
+
 // Faults configures fault injection for chaos testing (RunSpec.Chaos).
 type Faults = chaos.Faults
 

@@ -1,0 +1,96 @@
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayGrowsAndCaps: with jitter off the schedule is exactly
+// Base*Factor^n clamped at Cap.
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Delay(-3); got != 10*time.Millisecond {
+		t.Errorf("Delay(-3) = %v, want Base", got)
+	}
+	// Huge attempt counts terminate and stay at Cap (the growth loop
+	// stops once the cap is reached, no float overflow).
+	if got := p.Delay(10_000); got != 80*time.Millisecond {
+		t.Errorf("Delay(10000) = %v, want Cap", got)
+	}
+}
+
+// TestJitterBoundsAndDeterminism: jittered delays stay inside
+// [d*(1-J), d], and an injected rand makes the schedule reproducible.
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	mk := func() Policy {
+		return Policy{Base: 100 * time.Millisecond, Cap: time.Second,
+			Factor: 2, Jitter: 0.5, Rand: rand.New(rand.NewSource(42))}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 8; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		full := 100 * time.Millisecond << uint(i)
+		if full > time.Second {
+			full = time.Second
+		}
+		if da < full/2 || da > full {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i, da, full/2, full)
+		}
+	}
+}
+
+// TestZeroValueUsesDefaults: the zero Policy behaves like Default().
+func TestZeroValueUsesDefaults(t *testing.T) {
+	var p Policy
+	d := p.Delay(0)
+	if d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Errorf("zero-policy Delay(0) = %v, want within [50ms, 100ms]", d)
+	}
+	def := Default()
+	if def.Base != 100*time.Millisecond || def.Cap != 30*time.Second ||
+		def.Factor != 2 || def.Jitter != 0.5 {
+		t.Errorf("Default() = %+v", def)
+	}
+	// Out-of-range knobs are clamped, not errors.
+	odd := Policy{Base: time.Millisecond, Factor: 0.1, Jitter: 5}
+	if d := odd.Delay(1); d <= 0 || d > 2*time.Millisecond {
+		t.Errorf("clamped policy Delay(1) = %v", d)
+	}
+	if d := odd.Delay(0); d <= 0 {
+		t.Errorf("full jitter must still return a positive delay, got %v", d)
+	}
+}
+
+// TestSleepHonorsContext: a canceled context aborts the pause
+// immediately with ctx.Err, and an open one sleeps roughly Delay.
+func TestSleepHonorsContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Jitter: 0}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := p.Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep on dead ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep ignored the canceled context")
+	}
+
+	q := Policy{Base: 5 * time.Millisecond, Jitter: 0}
+	if err := q.Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+}

@@ -38,6 +38,9 @@ const (
 	KindStalled OutcomeKind = "stalled"
 	// KindCrashed is a panic recovered at the Run boundary (*RunError).
 	KindCrashed OutcomeKind = "crashed"
+	// KindQuarantined is a poison spec the sweep fleet gave up on after
+	// repeated worker deaths (*QuarantineError).
+	KindQuarantined OutcomeKind = "quarantined"
 	// KindFailed is any other error (I/O, custom runners, ...).
 	KindFailed OutcomeKind = "failed"
 )
@@ -45,7 +48,7 @@ const (
 // Kinds lists every OutcomeKind, for table-driven consumers and tests.
 func Kinds() []OutcomeKind {
 	return []OutcomeKind{KindOK, KindCached, KindCanceled, KindInvalid,
-		KindStalled, KindCrashed, KindFailed}
+		KindStalled, KindCrashed, KindQuarantined, KindFailed}
 }
 
 // Kind classifies the outcome. Context cancellation wins over the typed
@@ -64,6 +67,7 @@ func kindOfErr(err error) OutcomeKind {
 	var ve *dramlat.ValidationError
 	var se *dramlat.StallError
 	var re *dramlat.RunError
+	var qe *dramlat.QuarantineError
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return KindCanceled
@@ -73,6 +77,8 @@ func kindOfErr(err error) OutcomeKind {
 		return KindStalled
 	case errors.As(err, &re):
 		return KindCrashed
+	case errors.As(err, &qe):
+		return KindQuarantined
 	}
 	return KindFailed
 }
@@ -102,11 +108,12 @@ type RunErrorWire struct {
 // at most one typed payload. Unmarshalling reconstructs the typed error
 // (see Err), so errors.As keeps working across a process boundary.
 type Failure struct {
-	Kind    OutcomeKind         `json:"kind"`
-	Message string              `json:"message"`
-	Invalid []FieldErrorWire    `json:"invalid,omitempty"`
-	Stall   *dramlat.StallError `json:"stall,omitempty"`
-	Crash   *RunErrorWire       `json:"crash,omitempty"`
+	Kind       OutcomeKind              `json:"kind"`
+	Message    string                   `json:"message"`
+	Invalid    []FieldErrorWire         `json:"invalid,omitempty"`
+	Stall      *dramlat.StallError      `json:"stall,omitempty"`
+	Crash      *RunErrorWire            `json:"crash,omitempty"`
+	Quarantine *dramlat.QuarantineError `json:"quarantine,omitempty"`
 }
 
 // failureOf captures err as a Failure.
@@ -115,6 +122,7 @@ func failureOf(err error) *Failure {
 	var ve *dramlat.ValidationError
 	var se *dramlat.StallError
 	var re *dramlat.RunError
+	var qe *dramlat.QuarantineError
 	switch {
 	case errors.As(err, &ve):
 		for _, fe := range ve.Fields {
@@ -131,6 +139,8 @@ func failureOf(err error) *Failure {
 			SpecHash: re.SpecHash, Phase: re.Phase, Cycle: re.Cycle,
 			Panic: fmt.Sprint(re.Panic), Stack: re.Stack,
 		}
+	case errors.As(err, &qe):
+		f.Quarantine = qe
 	}
 	return f
 }
@@ -170,6 +180,8 @@ func (f *Failure) Err() error {
 			SpecHash: f.Crash.SpecHash, Phase: f.Crash.Phase,
 			Cycle: f.Crash.Cycle, Panic: f.Crash.Panic, Stack: f.Crash.Stack,
 		}
+	case f.Quarantine != nil:
+		cause = f.Quarantine
 	case f.Kind == KindCanceled && f.Message == context.Canceled.Error():
 		cause = context.Canceled
 	case f.Kind == KindCanceled && f.Message == context.DeadlineExceeded.Error():

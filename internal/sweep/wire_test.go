@@ -66,6 +66,9 @@ func outcomeFixtures() map[OutcomeKind]Outcome {
 			Err: &dramlat.RunError{SpecHash: h, Phase: "run", Cycle: 42,
 				Panic: "invariant violated: bank 3 issued RD on closed row",
 				Stack: "goroutine 1 [running]:\nmain.main()"}},
+		KindQuarantined: {Spec: spec, Hash: h,
+			Err: &dramlat.QuarantineError{SpecHash: h, Attempts: 3,
+				LastWorker: "worker-b"}},
 		KindFailed: {Spec: spec, Hash: h, Err: errors.New("disk full")},
 	}
 }

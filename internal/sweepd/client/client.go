@@ -14,11 +14,13 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"dramlat"
 	"dramlat/internal/atomicio"
+	"dramlat/internal/guard/backoff"
 	"dramlat/internal/sweep"
 	"dramlat/internal/sweepd"
 )
@@ -41,6 +43,23 @@ type Remote struct {
 	// during RunContext, never concurrently — the same contract as
 	// sweep.Engine.Progress.
 	Progress func(sweep.Event)
+	// StreamRetries caps consecutive failed reconnect attempts of
+	// Stream before it gives up (<=0 means 5). The budget resets every
+	// time a connection delivers at least one event, so a long sweep
+	// over a flaky link survives any number of drops as long as it
+	// keeps making progress.
+	StreamRetries int
+	// Backoff paces Stream reconnects and the retry loops of the
+	// worker tier. The zero value is backoff.Default().
+	Backoff backoff.Policy
+}
+
+// streamRetries resolves the reconnect budget.
+func (r *Remote) streamRetries() int {
+	if r.StreamRetries > 0 {
+		return r.StreamRetries
+	}
+	return 5
 }
 
 func (r *Remote) httpClient() *http.Client {
@@ -72,37 +91,44 @@ func apiError(resp *http.Response) error {
 }
 
 func (r *Remote) do(ctx context.Context, method, path string, in, out any) error {
+	_, err := r.doCode(ctx, method, path, in, out)
+	return err
+}
+
+// doCode is do exposing the HTTP status, for callers that map specific
+// codes to sentinel errors (410 Gone -> sweepd.ErrLeaseGone).
+func (r *Remote) doCode(ctx context.Context, method, path string, in, out any) (int, error) {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
-			return fmt.Errorf("sweepd client: encode request: %w", err)
+			return 0, fmt.Errorf("sweepd client: encode request: %w", err)
 		}
 		body = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, r.url(path), body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := r.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("sweepd client: %w", err)
+		return 0, fmt.Errorf("sweepd client: %w", err)
 	}
 	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
+		return resp.StatusCode, apiError(resp)
 	}
 	defer resp.Body.Close()
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
-		return nil
+		return resp.StatusCode, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("sweepd client: decode response: %w", err)
+		return resp.StatusCode, fmt.Errorf("sweepd client: decode response: %w", err)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // Submit queues a job and returns its status without waiting for it.
@@ -238,25 +264,61 @@ func (r *Remote) Health(ctx context.Context) (sweepd.Stats, error) {
 }
 
 // Stream follows a job's progress, calling fn for every event until
-// the job reaches a terminal state (returned), the stream ends, or ctx
-// is canceled. fn may be nil to just wait for completion.
+// the job reaches a terminal state (returned), or ctx is canceled. fn
+// may be nil to just wait for completion.
+//
+// A dropped connection (server restart behind a proxy, flaky link, a
+// stream cut mid-line) is not fatal: Stream reconnects with ?offset=N
+// — N being the outcome events already consumed — so no event is
+// re-delivered to fn and none is lost. Reconnects back off per
+// r.Backoff and give up after r.StreamRetries consecutive failures;
+// any connection that delivers at least one event resets the budget.
+// API-level rejections (unknown job, bad request) are permanent and
+// abort immediately.
 func (r *Remote) Stream(ctx context.Context, id string, fn func(sweepd.StreamEvent)) (sweepd.JobState, error) {
+	offset, fails := 0, 0
+	for {
+		state, n, err, permanent := r.streamOnce(ctx, id, offset, fn)
+		if err == nil {
+			return state, nil
+		}
+		offset += n
+		if permanent || ctx.Err() != nil {
+			return state, err
+		}
+		if n > 0 {
+			fails = 0 // progress: refill the reconnect budget
+		}
+		fails++
+		if fails > r.streamRetries() {
+			return state, fmt.Errorf("sweepd client: stream: giving up after %d consecutive failures: %w", fails, err)
+		}
+		if serr := r.Backoff.Sleep(ctx, fails-1); serr != nil {
+			return state, serr
+		}
+	}
+}
+
+// streamOnce runs one stream connection from the given event offset.
+// It returns the terminal state (err == nil) or how many outcome
+// events this connection delivered before failing; permanent flags
+// API rejections that reconnecting cannot cure.
+func (r *Remote) streamOnce(ctx context.Context, id string, offset int, fn func(sweepd.StreamEvent)) (state sweepd.JobState, n int, err error, permanent bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		r.url("/jobs/"+id+"/stream"), nil)
+		r.url("/jobs/"+id+"/stream?offset="+strconv.Itoa(offset)), nil)
 	if err != nil {
-		return "", err
+		return "", 0, err, true
 	}
 	resp, err := r.httpClient().Do(req)
 	if err != nil {
-		return "", fmt.Errorf("sweepd client: %w", err)
+		return "", 0, fmt.Errorf("sweepd client: %w", err), false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", apiError(resp)
+		return "", 0, apiError(resp), true
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // stall dumps can be large
-	var state sweepd.JobState
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -264,25 +326,60 @@ func (r *Remote) Stream(ctx context.Context, id string, fn func(sweepd.StreamEve
 		}
 		var ev sweepd.StreamEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return state, fmt.Errorf("sweepd client: decode stream event: %w", err)
+			// A connection cut mid-line leaves a truncated JSON tail;
+			// treat it like a drop and resume from the last whole event.
+			return "", n, fmt.Errorf("sweepd client: decode stream event: %w", err), false
 		}
 		if fn != nil {
 			fn(ev)
 		}
 		if ev.State != "" {
-			state = ev.State
+			return ev.State, n, nil, false // terminal line
 		}
+		n++
 	}
 	if err := sc.Err(); err != nil {
 		if ctx.Err() != nil {
-			return state, ctx.Err()
+			return "", n, ctx.Err(), true
 		}
-		return state, fmt.Errorf("sweepd client: stream: %w", err)
+		return "", n, fmt.Errorf("sweepd client: stream: %w", err), false
 	}
-	if state == "" {
-		return state, fmt.Errorf("sweepd client: stream ended without a terminal state")
+	return "", n, fmt.Errorf("sweepd client: stream ended without a terminal state"), false
+}
+
+// Claim asks the server for a queued spec under a lease, long-polling
+// up to wait. Inspect the response: LeaseID set means work, Draining
+// true means stop claiming, neither means the queue was empty.
+func (r *Remote) Claim(ctx context.Context, worker string, wait time.Duration) (sweepd.ClaimResponse, error) {
+	var resp sweepd.ClaimResponse
+	err := r.do(ctx, http.MethodPost, "/workers/claim",
+		sweepd.ClaimRequest{Worker: worker, WaitMS: wait.Milliseconds()}, &resp)
+	return resp, err
+}
+
+// Heartbeat renews a lease. sweepd.ErrLeaseGone (mapped from 410)
+// means the server gave up on this lease: abandon the spec.
+func (r *Remote) Heartbeat(ctx context.Context, leaseID string) (sweepd.HeartbeatResponse, error) {
+	var resp sweepd.HeartbeatResponse
+	code, err := r.doCode(ctx, http.MethodPost, "/workers/heartbeat",
+		sweepd.HeartbeatRequest{LeaseID: leaseID}, &resp)
+	if code == http.StatusGone {
+		return resp, sweepd.ErrLeaseGone
 	}
-	return state, nil
+	return resp, err
+}
+
+// Complete returns a spec's typed outcome to the server, releasing the
+// lease. sweepd.ErrLeaseGone means the result was no longer wanted
+// (a faster worker won, the job was canceled, or the server drained).
+func (r *Remote) Complete(ctx context.Context, leaseID, hash string, o sweep.Outcome) (sweepd.CompleteResponse, error) {
+	var resp sweepd.CompleteResponse
+	code, err := r.doCode(ctx, http.MethodPost, "/workers/complete",
+		sweepd.CompleteRequest{LeaseID: leaseID, Hash: hash, Outcome: o}, &resp)
+	if code == http.StatusGone {
+		return resp, sweepd.ErrLeaseGone
+	}
+	return resp, err
 }
 
 // RunContext submits the specs as one job, streams progress (feeding

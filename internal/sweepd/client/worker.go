@@ -1,0 +1,254 @@
+package client
+
+// Worker is the fleet side of the sweepd lease protocol (the engine
+// behind cmd/dlwork): a pull-based remote executor that claims queued
+// specs from a server, heartbeats while simulating them, and returns
+// typed outcomes over the sweep wire format. Fault handling mirrors
+// the server's model:
+//
+//   - transport errors on claim back off exponentially and never give
+//     up (the server may be restarting behind us);
+//   - a lease the server declared gone (410) cancels the in-flight
+//     simulation — the spec was re-queued elsewhere or the job died;
+//   - heartbeat transport failures do NOT cancel execution: if the
+//     partition heals, the finished result is still submitted, and
+//     "late completion wins" on the server retires the re-queued copy;
+//   - completion submissions retry with backoff a bounded number of
+//     times, then drop the result (the server will re-lease the spec).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dramlat/internal/guard/backoff"
+	"dramlat/internal/sweep"
+	"dramlat/internal/sweepd"
+)
+
+// Worker pulls specs from one sweepd server and executes them on a
+// local sweep.Engine. Configure the fields before Run; zero values
+// get sensible defaults.
+type Worker struct {
+	// Remote is the server connection (required).
+	Remote *Remote
+	// Eng executes claimed specs (required): its cache gives this
+	// worker private hits, its runner/timeout apply per spec.
+	Eng *sweep.Engine
+	// Name identifies this worker to the server; default "host-pid".
+	Name string
+	// Concurrency is how many specs run at once (default 1).
+	Concurrency int
+	// Poll is the claim long-poll window (default 15s).
+	Poll time.Duration
+	// Backoff paces claim/complete retries after transport errors.
+	// The zero value is backoff.Default().
+	Backoff backoff.Policy
+	// Logger receives worker lifecycle logs; nil discards them.
+	Logger *slog.Logger
+
+	claimed   atomic.Int64
+	completed atomic.Int64
+	abandoned atomic.Int64
+}
+
+// Stats reports lifetime counters: specs claimed, outcomes delivered,
+// and specs abandoned (lease gone or result unwanted).
+func (w *Worker) Stats() (claimed, completed, abandoned int64) {
+	return w.claimed.Load(), w.completed.Load(), w.abandoned.Load()
+}
+
+func (w *Worker) name() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 15 * time.Second
+}
+
+func (w *Worker) logger() *slog.Logger {
+	if w.Logger != nil {
+		return w.Logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// Run claims and executes specs until ctx is canceled or the server
+// begins draining (both return nil — the worker exited on purpose).
+// Canceling ctx stops claiming; specs already leased finish and their
+// outcomes are still delivered (the graceful-shutdown path of
+// cmd/dlwork). It is the blocking main loop of cmd/dlwork.
+func (w *Worker) Run(ctx context.Context) error {
+	n := w.Concurrency
+	if n <= 0 {
+		n = 1
+	}
+	name := w.name()
+	log := w.logger().With("worker", name)
+	log.Info("worker up", "server", w.Remote.BaseURL, "concurrency", n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w.slot(ctx, name, log.With("slot", slot))
+		}(i)
+	}
+	wg.Wait()
+	log.Info("worker down",
+		"claimed", w.claimed.Load(), "completed", w.completed.Load())
+	return nil
+}
+
+// slot is one claim-execute-complete loop.
+func (w *Worker) slot(ctx context.Context, name string, log *slog.Logger) {
+	fails := 0
+	for ctx.Err() == nil {
+		resp, err := w.Remote.Claim(ctx, name, w.poll())
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fails++
+			log.Debug("claim failed, backing off", "attempt", fails, "err", err)
+			if w.Backoff.Sleep(ctx, fails-1) != nil {
+				return
+			}
+			continue
+		}
+		fails = 0
+		if resp.Draining {
+			log.Info("server draining, worker exiting")
+			return
+		}
+		if resp.LeaseID == "" {
+			continue // queue empty; the claim already long-polled
+		}
+		w.claimed.Add(1)
+		w.execute(ctx, resp, log)
+	}
+}
+
+// execute runs one leased spec with a heartbeat loop alongside, then
+// submits the outcome. Execution is detached from the claim context:
+// a worker asked to shut down finishes (and delivers) what it holds —
+// only the server saying "lease gone" aborts a simulation mid-run.
+func (w *Worker) execute(ctx context.Context, lease sweepd.ClaimResponse, log *slog.Logger) {
+	log = log.With("lease", lease.LeaseID, "hash", lease.Hash)
+	log.Debug("lease claimed", "attempt", lease.Attempt)
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(runCtx, cancel, lease.LeaseID, time.Duration(lease.TTLMS)*time.Millisecond, log)
+	}()
+
+	o := w.runSpec(runCtx, lease)
+	abandoned := runCtx.Err() != nil
+	cancel() // stop the heartbeat loop
+	<-hbDone
+
+	if abandoned && o.Err != nil {
+		// The heartbeat loop canceled us (lease gone / abandon): the
+		// result is a context-canceled outcome nobody wants.
+		w.abandoned.Add(1)
+		log.Debug("spec abandoned mid-run")
+		return
+	}
+
+	// Submit with bounded retries: the result embodies real compute, so
+	// ride out a short server restart, but do not hold the slot forever
+	// — an expired lease just re-queues the spec.
+	subCtx := context.WithoutCancel(ctx)
+	for attempt := 0; ; attempt++ {
+		resp, err := w.Remote.Complete(subCtx, lease.LeaseID, lease.Hash, o)
+		switch {
+		case err == nil:
+			w.completed.Add(1)
+			log.Debug("outcome delivered", "kind", string(o.Kind()), "late", resp.Late)
+			return
+		case errors.Is(err, sweepd.ErrLeaseGone):
+			w.abandoned.Add(1)
+			log.Debug("outcome not wanted", "kind", string(o.Kind()))
+			return
+		case attempt >= 4:
+			w.abandoned.Add(1)
+			log.Warn("dropping outcome after repeated submit failures", "err", err)
+			return
+		}
+		if w.Backoff.Sleep(subCtx, attempt) != nil {
+			return
+		}
+	}
+}
+
+// runSpec produces the spec's outcome: the worker's private cache
+// first, then the server's shared result store by content hash, then
+// a fresh simulation (which lands in the private cache). Failures of
+// every kind come back as typed outcomes — a panic that dramlat.Run
+// can recover becomes a RunError; one that kills the process becomes
+// a lease expiry on the server.
+func (w *Worker) runSpec(ctx context.Context, lease sweepd.ClaimResponse) sweep.Outcome {
+	spec := *lease.Spec
+	o := sweep.Outcome{Spec: spec, Hash: lease.Hash}
+	if res, ok := w.Eng.Cache.Get(spec); ok {
+		o.Results, o.Cached = res, true
+		return o
+	}
+	if _, res, err := w.Remote.Result(ctx, lease.Hash); err == nil {
+		o.Results, o.Cached = res, true
+		return o
+	}
+	return w.Eng.RunOneContext(ctx, spec)
+}
+
+// heartbeat renews the lease every TTL/3 until ctx ends. A server
+// that answers "gone" (or asks to abandon) cancels the simulation;
+// transport errors are tolerated indefinitely — if the partition
+// heals the lease may still be alive, and if it is not, the finished
+// result rides the late-completion path.
+func (w *Worker) heartbeat(ctx context.Context, cancel context.CancelFunc, leaseID string, ttl time.Duration, log *slog.Logger) {
+	every := ttl / 3
+	if every <= 0 {
+		every = time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		resp, err := w.Remote.Heartbeat(ctx, leaseID)
+		switch {
+		case errors.Is(err, sweepd.ErrLeaseGone):
+			log.Debug("lease gone, canceling run")
+			cancel()
+			return
+		case err != nil:
+			log.Debug("heartbeat failed", "err", err)
+		case resp.Abandon:
+			log.Debug("server asked to abandon, canceling run")
+			cancel()
+			return
+		}
+	}
+}

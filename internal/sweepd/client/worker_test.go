@@ -1,0 +1,455 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/guard/backoff"
+	"dramlat/internal/metrics"
+	"dramlat/internal/sweep"
+	"dramlat/internal/sweepd"
+)
+
+// Chaos tests: the fleet (dlserve + dlwork, in-process) under worker
+// death, dropped heartbeats and network partitions, asserting reports
+// stay byte-identical to local execution throughout.
+
+// tinyBackoff keeps every retry loop fast and deterministic in tests.
+var tinyBackoff = backoff.Policy{Base: time.Millisecond, Cap: 2 * time.Millisecond, Factor: 2}
+
+// startFleetService runs a sweepd server (usually fleet-only) behind
+// httptest and returns a connected Remote.
+func startFleetService(t *testing.T, opts sweepd.Options) (*Remote, *sweepd.Server) {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.RetryBackoff == (backoff.Policy{}) {
+		opts.RetryBackoff = tinyBackoff
+	}
+	run := &countingRunner{}
+	srv := sweepd.NewWithOptions(&sweep.Engine{Workers: 2, Cache: cache, Runner: run.run},
+		nil, metrics.NewRegistry(), opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return &Remote{BaseURL: ts.URL, HTTP: ts.Client()}, srv
+}
+
+// newTestWorker builds a Worker with its own engine, cache and runner.
+func newTestWorker(t *testing.T, r *Remote, name string) (*Worker, *countingRunner) {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &countingRunner{}
+	w := &Worker{
+		Remote:  r,
+		Eng:     &sweep.Engine{Workers: 1, Cache: cache, Runner: run.run},
+		Name:    name,
+		Poll:    time.Second,
+		Backoff: tinyBackoff,
+	}
+	return w, run
+}
+
+// runWorkers starts n workers against r and returns a stop function
+// that shuts them down and waits for them to exit.
+func runWorkers(t *testing.T, r *Remote, n int) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w, _ := newTestWorker(t, r, fmt.Sprintf("w%d", i))
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }()
+	}
+	stop := func() { cancel(); wg.Wait() }
+	t.Cleanup(stop)
+	return stop
+}
+
+// faultTransport injects transport-level failures (the in-process
+// stand-in for a network partition): requests whose URL path contains
+// path fail while failN != 0 (-1 = fail forever).
+type faultTransport struct {
+	base  http.RoundTripper
+	mu    sync.Mutex
+	path  string
+	failN int
+}
+
+func (f *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	fail := (f.path == "" || strings.Contains(req.URL.Path, f.path)) && f.failN != 0
+	if fail && f.failN > 0 {
+		f.failN--
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("faultTransport: injected partition on %s", req.URL.Path)
+	}
+	return f.base.RoundTrip(req)
+}
+
+func (f *faultTransport) remaining() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failN
+}
+
+// assertIdentical compares a fleet-produced report against a local
+// engine run of the same specs — outcomes, order, counters; only
+// wall-clock Elapsed is exempt.
+func assertIdentical(t *testing.T, local, remote *sweep.Report) {
+	t.Helper()
+	if remote.Executed != local.Executed || remote.Cached != local.Cached ||
+		remote.Failed != local.Failed {
+		t.Fatalf("counters: remote %d/%d/%d local %d/%d/%d",
+			remote.Executed, remote.Cached, remote.Failed,
+			local.Executed, local.Cached, local.Failed)
+	}
+	if len(remote.Outcomes) != len(local.Outcomes) {
+		t.Fatalf("outcome count %d vs %d", len(remote.Outcomes), len(local.Outcomes))
+	}
+	for i := range local.Outcomes {
+		lo, ro := local.Outcomes[i], remote.Outcomes[i]
+		lo.Elapsed, ro.Elapsed = 0, 0
+		if !reflect.DeepEqual(lo, ro) {
+			t.Errorf("outcome %d differs:\n local %+v\n remote %+v", i, lo, ro)
+		}
+	}
+}
+
+func localRun(t *testing.T, specs []dramlat.RunSpec) *sweep.Report {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return (&sweep.Engine{Workers: 2, Cache: cache, Runner: (&countingRunner{}).run}).Run(specs)
+}
+
+// TestFleetMatchesLocalRun is the fleet acceptance check: a grid run
+// through a fleet-only server and two remote workers produces the
+// exact report a local engine produces.
+func TestFleetMatchesLocalRun(t *testing.T) {
+	r, _ := startFleetService(t, sweepd.Options{LocalWorkers: -1})
+	specs := grid2x2().Enumerate()
+	runWorkers(t, r, 2)
+
+	remote := r.RunContext(context.Background(), specs)
+	assertIdentical(t, localRun(t, specs), remote)
+
+	st, err := r.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FleetWorkers != 2 {
+		t.Fatalf("server saw %d fleet workers, want 2", st.FleetWorkers)
+	}
+	if st.Quarantined != 0 || st.LeaseExpiries != 0 {
+		t.Fatalf("healthy fleet reported faults: %+v", st)
+	}
+}
+
+// TestFleetSurvivesKilledWorker SIGKILLs a worker mid-spec (modeled
+// faithfully: the "worker" claims a lease and then never speaks again
+// — exactly what the server observes after a kill -9). The lease
+// expires, the spec re-queues, a healthy worker finishes the job, and
+// the report is still byte-identical to a local run.
+func TestFleetSurvivesKilledWorker(t *testing.T) {
+	r, _ := startFleetService(t, sweepd.Options{
+		LocalWorkers: -1, LeaseTTL: 100 * time.Millisecond, SweepEvery: 10 * time.Millisecond,
+	})
+	ctx := context.Background()
+	specs := grid2x2().Enumerate()
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := r.Claim(ctx, "doomed", time.Second)
+	if err != nil || dead.LeaseID == "" {
+		t.Fatalf("doomed claim: %+v err %v", dead, err)
+	}
+	// kill -9: no heartbeat, no completion, ever.
+
+	runWorkers(t, r, 1)
+	state, err := r.Stream(ctx, st.ID, nil)
+	if err != nil || state != sweepd.JobDone {
+		t.Fatalf("stream: state %v err %v", state, err)
+	}
+	rep, job, err := r.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Failed != 0 || job.Executed != len(specs) {
+		t.Fatalf("job after worker death: %+v", job)
+	}
+	assertIdentical(t, localRun(t, specs), rep)
+
+	health, err := r.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.LeaseExpiries < 1 || health.Retried < 1 {
+		t.Fatalf("server never noticed the death: %+v", health)
+	}
+}
+
+// TestFleetToleratesDroppedHeartbeats: every heartbeat is lost in the
+// network, the lease expires mid-run, and the slow worker's finished
+// result still lands via the late-completion path — the spec is not
+// executed twice.
+func TestFleetToleratesDroppedHeartbeats(t *testing.T) {
+	r, _ := startFleetService(t, sweepd.Options{
+		LocalWorkers: -1, LeaseTTL: 150 * time.Millisecond, SweepEvery: 10 * time.Millisecond,
+	})
+	ctx := context.Background()
+	ft := &faultTransport{base: r.HTTP.Transport, path: "/workers/heartbeat", failN: -1}
+	wr := &Remote{BaseURL: r.BaseURL, HTTP: &http.Client{Transport: ft}}
+
+	w, run := newTestWorker(t, wr, "deaf")
+	w.Eng.Runner = func(sp dramlat.RunSpec) (dramlat.Results, error) {
+		time.Sleep(600 * time.Millisecond) // well past the lease TTL
+		return run.run(sp)
+	}
+	wctx, wcancel := context.WithCancel(ctx)
+	workerDone := make(chan struct{})
+	go func() { defer close(workerDone); w.Run(wctx) }()
+	defer func() { wcancel(); <-workerDone }()
+
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: grid2x2().Enumerate()[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := r.Stream(ctx, st.ID, nil)
+	if err != nil || state != sweepd.JobDone {
+		t.Fatalf("stream: state %v err %v", state, err)
+	}
+	if got := run.count(); got != 1 {
+		t.Fatalf("spec executed %d times, want 1", got)
+	}
+	health, err := r.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.LateCompletions != 1 || health.LeaseExpiries != 1 {
+		t.Fatalf("expected one expiry resolved late: %+v", health)
+	}
+}
+
+// TestFleetRidesOutPartition: the network eats the first completion
+// attempts; the worker's bounded retry/backoff loop delivers the
+// result once the partition heals, and the job completes normally.
+func TestFleetRidesOutPartition(t *testing.T) {
+	r, _ := startFleetService(t, sweepd.Options{LocalWorkers: -1})
+	ctx := context.Background()
+	ft := &faultTransport{base: r.HTTP.Transport, path: "/workers/complete", failN: 2}
+	wr := &Remote{BaseURL: r.BaseURL, HTTP: &http.Client{Transport: ft}}
+
+	w, run := newTestWorker(t, wr, "flaky-net")
+	wctx, wcancel := context.WithCancel(ctx)
+	workerDone := make(chan struct{})
+	go func() { defer close(workerDone); w.Run(wctx) }()
+	defer func() { wcancel(); <-workerDone }()
+
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: grid2x2().Enumerate()[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := r.Stream(ctx, st.ID, nil)
+	if err != nil || state != sweepd.JobDone {
+		t.Fatalf("stream: state %v err %v", state, err)
+	}
+	// The server marks the job done inside the Complete handler, before
+	// the worker's HTTP call returns and its counter ticks — stop the
+	// worker (which waits out in-flight delivery) before reading stats.
+	wcancel()
+	<-workerDone
+	if got := run.count(); got != 1 {
+		t.Fatalf("spec executed %d times, want 1", got)
+	}
+	if ft.remaining() != 0 {
+		t.Fatalf("partition never exercised: %d injected failures left", ft.remaining())
+	}
+	if _, completed, _ := w.Stats(); completed != 1 {
+		t.Fatalf("worker delivered %d outcomes, want 1", completed)
+	}
+}
+
+// TestFleetQuarantineOverHTTP: a spec that kills every worker that
+// touches it (leases granted, never completed) ends as a typed
+// QuarantineError in the report — revived across the wire — and the
+// job terminates instead of cycling forever.
+func TestFleetQuarantineOverHTTP(t *testing.T) {
+	r, _ := startFleetService(t, sweepd.Options{
+		LocalWorkers: -1, LeaseTTL: 50 * time.Millisecond,
+		SweepEvery: 10 * time.Millisecond, LeaseAttempts: 2,
+	})
+	ctx := context.Background()
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Specs: grid2x2().Enumerate()[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := 0
+	for deadline := time.Now().Add(15 * time.Second); granted < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d leases granted before deadline", granted)
+		}
+		resp, err := r.Claim(ctx, "crashy", 500*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.LeaseID != "" {
+			granted++ // claimed — and now we "crash" without a word
+		}
+	}
+	state, err := r.Stream(ctx, st.ID, nil)
+	if err != nil || state != sweepd.JobDone {
+		t.Fatalf("stream: state %v err %v", state, err)
+	}
+	rep, job, err := r.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Failed != 1 || job.Done != 1 {
+		t.Fatalf("poison job: %+v", job)
+	}
+	var qe *dramlat.QuarantineError
+	if !errors.As(rep.Outcomes[0].Err, &qe) {
+		t.Fatalf("outcome error %v (%T) is not a QuarantineError",
+			rep.Outcomes[0].Err, rep.Outcomes[0].Err)
+	}
+	if qe.Attempts != 2 || qe.LastWorker != "crashy" {
+		t.Fatalf("quarantine payload: %+v", qe)
+	}
+	health, err := r.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Quarantined != 1 {
+		t.Fatalf("stats: %+v", health)
+	}
+}
+
+// cutAfter aborts the connection (http.ErrAbortHandler) after passing
+// through a fixed number of writes — one NDJSON event per write.
+type cutAfter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (c *cutAfter) Write(b []byte) (int, error) {
+	if c.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	c.remaining--
+	return c.ResponseWriter.Write(b)
+}
+
+func (c *cutAfter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// startFlakyStreamService runs a local-execution sweepd server whose
+// /stream responses are sabotaged by shape: cut > 0 aborts the
+// connection after that many event lines on the FIRST stream request;
+// cut == 0 aborts every stream request before any byte is written.
+func startFlakyStreamService(t *testing.T, cut int) (*Remote, *atomic.Int32) {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &countingRunner{}
+	srv := sweepd.NewWithOptions(&sweep.Engine{Workers: 2, Cache: cache, Runner: run.run},
+		nil, metrics.NewRegistry(), sweepd.Options{})
+	inner := srv.Handler()
+	var streamReqs atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			n := streamReqs.Add(1)
+			if cut == 0 {
+				panic(http.ErrAbortHandler) // dead proxy: no response, ever
+			}
+			if n == 1 {
+				w = &cutAfter{ResponseWriter: w, remaining: cut}
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return &Remote{BaseURL: ts.URL, HTTP: ts.Client(), Backoff: tinyBackoff}, &streamReqs
+}
+
+// TestStreamReconnectsAcrossDrops: a stream cut mid-job resumes from
+// ?offset=N — every outcome is delivered exactly once and the terminal
+// state still arrives.
+func TestStreamReconnectsAcrossDrops(t *testing.T) {
+	r, streamReqs := startFlakyStreamService(t, 2)
+	ctx := context.Background()
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Grid: ptr(grid2x2())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	events := 0
+	state, err := r.Stream(ctx, st.ID, func(ev sweepd.StreamEvent) {
+		if ev.Outcome != nil {
+			events++
+			seen[ev.Outcome.Hash]++
+		}
+	})
+	if err != nil || state != sweepd.JobDone {
+		t.Fatalf("stream: state %v err %v", state, err)
+	}
+	if events != 4 || len(seen) != 4 {
+		t.Fatalf("saw %d events over %d distinct hashes, want exactly-once over 4", events, len(seen))
+	}
+	for h, n := range seen {
+		if n != 1 {
+			t.Fatalf("hash %s delivered %d times", h, n)
+		}
+	}
+	if n := streamReqs.Load(); n < 2 {
+		t.Fatalf("stream reconnected %d times, want a cut + a resume", n)
+	}
+}
+
+// TestStreamGivesUpAfterRetryBudget: a stream endpoint that never
+// yields a byte exhausts the reconnect budget and surfaces an error
+// instead of spinning forever.
+func TestStreamGivesUpAfterRetryBudget(t *testing.T) {
+	r, streamReqs := startFlakyStreamService(t, 0)
+	r.StreamRetries = 2
+	ctx := context.Background()
+	st, err := r.Submit(ctx, sweepd.SubmitRequest{Grid: ptr(grid2x2())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Stream(ctx, st.ID, nil)
+	if err == nil || !strings.Contains(err.Error(), "giving up after") {
+		t.Fatalf("stream against a dead endpoint: %v", err)
+	}
+	// Client-side: 1 attempt + 2 retries. Server-side the count can be
+	// higher — net/http transparently replays a GET whose reused
+	// keep-alive connection died before any response byte.
+	if n := streamReqs.Load(); n < 3 {
+		t.Fatalf("stream attempted %d connections, want at least 3 (1 + 2 retries)", n)
+	}
+}

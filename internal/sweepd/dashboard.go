@@ -49,6 +49,13 @@ const dashboardHTML = `<!doctype html>
   <div class="tile"><b id="t-exec">–</b><span>executed</span></div>
   <div class="tile"><b id="t-hit">–</b><span>cache hit rate</span></div>
 </div>
+<div class="tiles" id="fleet" hidden>
+  <div class="tile"><b id="t-fleet">–</b><span>fleet workers</span></div>
+  <div class="tile"><b id="t-leases">–</b><span>active leases</span></div>
+  <div class="tile"><b id="t-backlog">–</b><span>retry backlog</span></div>
+  <div class="tile"><b id="t-expiries">–</b><span>lease expiries</span></div>
+  <div class="tile"><b id="t-quarantined">–</b><span>quarantined</span></div>
+</div>
 <div id="err"></div>
 <table>
   <thead><tr>
@@ -120,6 +127,16 @@ async function refresh() {
     $("t-exec").textContent = h.executed;
     const lookups = h.executed + h.cache_hits;
     $("t-hit").textContent = lookups ? Math.round(100 * h.cache_hits / lookups) + "%" : "–";
+    // The fleet row only appears once remote workers are part of the
+    // picture (a dlwork connected, or fleet state left a trace).
+    const fleet = (h.fleet_workers || 0) + (h.active_leases || 0) +
+      (h.lease_expiries || 0) + (h.quarantined || 0);
+    $("fleet").hidden = !fleet;
+    $("t-fleet").textContent = h.fleet_workers || 0;
+    $("t-leases").textContent = h.active_leases || 0;
+    $("t-backlog").textContent = h.retry_backlog || 0;
+    $("t-expiries").textContent = h.lease_expiries || 0;
+    $("t-quarantined").textContent = h.quarantined || 0;
     $("meta").textContent = (h.version || "dev") +
       (h.revision ? " @ " + h.revision.slice(0, 10) : "") +
       " · up " + fmtMS(h.uptime_ms) + " · cache " + (h.cache_dir || "off");

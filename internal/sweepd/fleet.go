@@ -1,0 +1,493 @@
+package sweepd
+
+// The distributed execution tier: remote worker processes (cmd/dlwork)
+// pull queued specs over HTTP instead of the server pushing work to
+// them. Three verbs cover the whole protocol:
+//
+//	claim      pop the best queued spec under a time-bounded lease
+//	heartbeat  renew the lease while the spec executes
+//	complete   return the typed sweep.Outcome, releasing the lease
+//
+// Fault model: a worker that dies (SIGKILL, OOM, network partition)
+// simply stops heartbeating. The expiry sweeper notices the lease
+// passing its TTL on the server's monotonic clock, counts one failed
+// attempt against the spec, and re-queues it behind an exponential
+// backoff with jitter so a crash-looping spec does not hammer the
+// fleet. After Options.LeaseAttempts expired leases the spec is a
+// proven poison pill: it is quarantined — its jobs complete with a
+// typed *dramlat.QuarantineError outcome — instead of cycling through
+// (and eventually wedging) every worker. No queued spec is ever lost,
+// and no job ever hangs on a dead worker.
+//
+// A worker that merely ran slow is handled too: a completion arriving
+// after the lease expired is still accepted as long as some job wants
+// the spec ("late completion wins" — the result is deterministic, so
+// first-to-finish is correct), and the re-queued copy is retired.
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+)
+
+// ErrLeaseGone rejects heartbeats and completions for leases the
+// server no longer holds: expired (the spec was re-queued or
+// quarantined), completed by a faster worker, or failed by a drain.
+// Workers treat it as "abandon this spec and claim the next one".
+var ErrLeaseGone = errors.New("sweepd: lease expired or unknown")
+
+// ErrUnknownWorker rejects claims with an empty worker name.
+var ErrUnknownWorker = errors.New("sweepd: claim requires a worker name")
+
+// ClaimRequest is the POST /workers/claim body.
+type ClaimRequest struct {
+	// Worker identifies the claiming process (host-pid by default);
+	// it keys the fleet registry and labels lease diagnostics.
+	Worker string `json:"worker"`
+	// WaitMS long-polls: the server holds the request up to this long
+	// for a spec to appear before answering "nothing queued".
+	WaitMS int64 `json:"wait_ms,omitempty"`
+}
+
+// ClaimResponse is the POST /workers/claim reply. Exactly one of
+// three shapes comes back: a granted lease (LeaseID set), "nothing
+// queued" (all fields zero), or "server draining" (Draining true —
+// stop claiming, finish what you hold).
+type ClaimResponse struct {
+	LeaseID string           `json:"lease_id,omitempty"`
+	Hash    string           `json:"hash,omitempty"`
+	Spec    *dramlat.RunSpec `json:"spec,omitempty"`
+	// TTLMS is the lease duration; the worker must heartbeat well
+	// within it (TTL/3 is the convention) or the spec is re-queued.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Attempt is how many leases on this spec have already expired;
+	// 0 is the first try.
+	Attempt  int  `json:"attempt,omitempty"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+// HeartbeatRequest is the POST /workers/heartbeat body.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse acknowledges a renewal. Abandon asks the worker
+// to stop executing the spec (every job wanting it was canceled); the
+// lease stays valid so the abandonment is graceful.
+type HeartbeatResponse struct {
+	OK      bool `json:"ok"`
+	Abandon bool `json:"abandon,omitempty"`
+}
+
+// CompleteRequest is the POST /workers/complete body. The outcome
+// travels in the typed sweep wire format, so failures arrive as the
+// same errors.As-able values a local run would produce. Hash repeats
+// the spec hash so a late completion (lease already expired) can
+// still find and retire the re-queued task.
+type CompleteRequest struct {
+	LeaseID string        `json:"lease_id"`
+	Hash    string        `json:"hash"`
+	Outcome sweep.Outcome `json:"outcome"`
+}
+
+// CompleteResponse acknowledges a result. Late means the lease had
+// already expired but the result was still wanted and won.
+type CompleteResponse struct {
+	Accepted bool `json:"accepted"`
+	Late     bool `json:"late,omitempty"`
+}
+
+// lease is one granted claim: a spec checked out to a remote worker
+// until expires (renewed by heartbeats). Expiry comparisons ride on
+// time.Time's monotonic reading, so wall-clock jumps cannot mass-
+// expire (or immortalize) leases.
+type lease struct {
+	id      string
+	t       *task
+	worker  string
+	granted time.Time
+	expires time.Time
+}
+
+// fleetWorker is one remote worker's registry row.
+type fleetWorker struct {
+	firstSeen time.Time
+	lastSeen  time.Time
+	active    int   // leases currently held
+	completed int64 // outcomes returned over this worker's lifetime
+}
+
+// leaseTTL returns the configured lease duration.
+func (s *Server) leaseTTL() time.Duration {
+	if s.opts.LeaseTTL > 0 {
+		return s.opts.LeaseTTL
+	}
+	return 30 * time.Second
+}
+
+// maxAttempts returns the per-spec lease budget before quarantine.
+func (s *Server) maxAttempts() int {
+	if s.opts.LeaseAttempts > 0 {
+		return s.opts.LeaseAttempts
+	}
+	return 3
+}
+
+// sweepEvery returns the expiry-scan cadence: a quarter TTL, clamped
+// so tiny test TTLs still get scanned and huge ones don't starve the
+// delayed-retry promotion.
+func (s *Server) sweepEvery() time.Duration {
+	if s.opts.SweepEvery > 0 {
+		return s.opts.SweepEvery
+	}
+	d := s.leaseTTL() / 4
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// workerExpiry is how long an idle fleet worker stays registered.
+func (s *Server) workerExpiry() time.Duration {
+	if d := 3 * s.leaseTTL(); d > time.Minute {
+		return d
+	}
+	return time.Minute
+}
+
+// touchWorkerLocked records contact from a fleet worker (mu held).
+func (s *Server) touchWorkerLocked(name string) *fleetWorker {
+	fw, ok := s.fleet[name]
+	if !ok {
+		fw = &fleetWorker{firstSeen: time.Now()}
+		s.fleet[name] = fw
+		s.m.fleetWorkers.Set(float64(len(s.fleet)))
+		s.logger.Info("fleet worker joined", "worker", name)
+	}
+	fw.lastSeen = time.Now()
+	return fw
+}
+
+// popClaimableLocked removes and returns the best queued task a
+// remote worker may run (mu held), or nil. Telemetry-capturing tasks
+// are skipped: artifact capture writes into the server's own artifact
+// dir, so those specs only execute on the local pool.
+func (s *Server) popClaimableLocked() *task {
+	best := -1
+	for i, t := range s.pq {
+		if t.tel.Enabled() {
+			continue
+		}
+		if best < 0 || s.pq.Less(i, best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return heap.Remove(&s.pq, best).(*task)
+}
+
+// Claim hands the best queued spec to a remote worker under a fresh
+// lease, long-polling up to wait for one to appear. Specs whose
+// result is already in the shared cache never reach the fleet: the
+// claim loop completes them server-side and keeps looking. A
+// draining server answers Draining instead of work.
+func (s *Server) Claim(ctx context.Context, workerName string, wait time.Duration) (ClaimResponse, error) {
+	if workerName == "" {
+		return ClaimResponse{}, ErrUnknownWorker
+	}
+	deadline := time.Now().Add(wait)
+	// The cond wait below must wake when the caller gives up or the
+	// long-poll window closes; both just broadcast.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.workCond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	if wait > 0 {
+		tm := time.AfterFunc(wait, func() {
+			s.mu.Lock()
+			s.workCond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer tm.Stop()
+	}
+
+	s.mu.Lock()
+	s.touchWorkerLocked(workerName)
+	for {
+		if s.draining {
+			s.mu.Unlock()
+			s.m.claims.With("draining").Inc()
+			return ClaimResponse{Draining: true}, nil
+		}
+		if err := ctx.Err(); err != nil {
+			s.mu.Unlock()
+			return ClaimResponse{}, err
+		}
+		if t := s.popClaimableLocked(); t != nil {
+			t.running = true
+			s.m.queueDepth.Dec()
+			s.m.queueWait.With(fmt.Sprint(t.priority)).Observe(time.Since(t.queued).Seconds())
+			s.mu.Unlock()
+			// Cache short-circuit outside mu (disk I/O): a spec another
+			// job already resolved — or a resubmitted grid — is served
+			// here and never ties up a worker.
+			if res, ok := s.eng.Cache.Get(t.spec); ok {
+				s.m.claims.With("cached").Inc()
+				s.mu.Lock()
+				s.complete(t, sweep.Outcome{Results: res, Cached: true})
+				continue
+			}
+			s.mu.Lock()
+			resp := s.grantLocked(t, workerName)
+			s.mu.Unlock()
+			s.m.claims.With("granted").Inc()
+			return resp, nil
+		}
+		if wait <= 0 || !time.Now().Before(deadline) {
+			s.mu.Unlock()
+			s.m.claims.With("empty").Inc()
+			return ClaimResponse{}, nil
+		}
+		s.workCond.Wait()
+	}
+}
+
+// grantLocked checks t out to worker under a fresh lease (mu held).
+func (s *Server) grantLocked(t *task, worker string) ClaimResponse {
+	ttl := s.leaseTTL()
+	s.leaseSeq++
+	l := &lease{
+		id: fmt.Sprintf("lease-%d", s.leaseSeq), t: t, worker: worker,
+		granted: time.Now(), expires: time.Now().Add(ttl),
+	}
+	s.leases[l.id] = l
+	t.leaseID = l.id
+	fw := s.touchWorkerLocked(worker)
+	fw.active++
+	s.m.leasesActive.Set(float64(len(s.leases)))
+	s.logger.Debug("lease granted", "lease", l.id, "worker", worker,
+		"hash", t.hash, "attempt", t.attempts)
+	return ClaimResponse{
+		LeaseID: l.id, Hash: t.hash, Spec: &t.spec,
+		TTLMS: ttl.Milliseconds(), Attempt: t.attempts,
+	}
+}
+
+// dropLeaseLocked forgets a lease without touching its task (mu held).
+func (s *Server) dropLeaseLocked(l *lease) {
+	delete(s.leases, l.id)
+	if l.t.leaseID == l.id {
+		l.t.leaseID = ""
+	}
+	if fw := s.fleet[l.worker]; fw != nil && fw.active > 0 {
+		fw.active--
+	}
+	s.m.leasesActive.Set(float64(len(s.leases)))
+}
+
+// Heartbeat renews a lease for another TTL. ErrLeaseGone means the
+// server re-queued (or quarantined, or drained) the spec — the worker
+// should abandon it. Abandon=true keeps the lease but asks the worker
+// to stop: every job wanting the spec has been canceled.
+func (s *Server) Heartbeat(leaseID string) (HeartbeatResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[leaseID]
+	if !ok {
+		s.m.heartbeats.With("gone").Inc()
+		return HeartbeatResponse{}, ErrLeaseGone
+	}
+	l.expires = time.Now().Add(s.leaseTTL())
+	s.touchWorkerLocked(l.worker)
+	s.m.heartbeats.With("ok").Inc()
+	return HeartbeatResponse{OK: true, Abandon: len(l.t.waiters) == 0}, nil
+}
+
+// CompleteLease lands a worker's outcome. The happy path releases the
+// live lease; a late completion (lease already expired) is accepted
+// as long as some job still wants the hash — the re-queued or
+// re-leased copy is retired, because the result is deterministic and
+// first-to-finish wins. Successful fresh results persist to the
+// shared cache exactly like local executions (a cache-write failure
+// becomes the outcome's error, matching sweep.Engine).
+func (s *Server) CompleteLease(leaseID, hash string, o sweep.Outcome) (CompleteResponse, error) {
+	s.mu.Lock()
+	var t *task
+	late := false
+	if l, ok := s.leases[leaseID]; ok {
+		t = l.t
+		s.dropLeaseLocked(l)
+		if fw := s.fleet[l.worker]; fw != nil {
+			fw.completed++
+		}
+	} else {
+		t = s.tasks[hash]
+		if t == nil || t.completing {
+			s.mu.Unlock()
+			// Nobody wants it anymore (completed by a sibling, job
+			// canceled, or quarantined). Still bank a successful fresh
+			// result: the cache is content-addressed and the next sweep
+			// over this spec becomes a hit.
+			if o.Err == nil && !o.Cached {
+				s.eng.Cache.Put(o.Spec, o.Results)
+			}
+			return CompleteResponse{}, ErrLeaseGone
+		}
+		late = true
+		s.stats.lateCompletions++
+		s.m.lateCompletions.Inc()
+		// Retire the re-queued copy from wherever it sits: the ready
+		// queue, the retry-backoff backlog, or a second worker's lease
+		// (that worker's own completion will land in the task-gone path
+		// above, harmlessly).
+		s.unqueueLocked(t)
+		if t.leaseID != "" {
+			if l2 := s.leases[t.leaseID]; l2 != nil {
+				s.dropLeaseLocked(l2)
+			}
+		}
+	}
+	t.completing = true
+	t.running = true
+	s.mu.Unlock()
+
+	if o.Err == nil && !o.Cached {
+		if cerr := s.eng.Cache.Put(t.spec, o.Results); cerr != nil {
+			o.Err = cerr
+		}
+	}
+
+	s.mu.Lock()
+	if !o.Cached {
+		s.m.execSeconds.With(t.spec.Canonical().Scheduler).Observe(o.Elapsed.Seconds())
+	}
+	s.complete(t, o)
+	s.mu.Unlock()
+	return CompleteResponse{Accepted: true, Late: late}, nil
+}
+
+// unqueueLocked removes t from the ready heap or the retry backlog,
+// whichever holds it (mu held). A leased or running task is in
+// neither — that's a no-op.
+func (s *Server) unqueueLocked(t *task) {
+	if t.index >= 0 {
+		heap.Remove(&s.pq, t.index)
+		s.m.queueDepth.Dec()
+		return
+	}
+	for i, d := range s.delayed {
+		if d == t {
+			s.delayed = append(s.delayed[:i], s.delayed[i+1:]...)
+			s.m.retryBacklog.Set(float64(len(s.delayed)))
+			return
+		}
+	}
+}
+
+// sweeper is the fleet's failure detector: a single goroutine that
+// periodically expires dead leases, promotes retry-delayed specs back
+// into the ready queue, and forgets long-idle workers. It runs until
+// Drain/Close.
+func (s *Server) sweeper() {
+	defer s.swg.Done()
+	tick := time.NewTicker(s.sweepEvery())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-tick.C:
+			s.sweepOnce(time.Now())
+		}
+	}
+}
+
+// sweepOnce runs one failure-detection pass at the given instant.
+// Split out (and instant-injected) so tests drive expiry
+// deterministically without sleeping.
+func (s *Server) sweepOnce(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range s.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		t := l.t
+		s.dropLeaseLocked(l)
+		s.stats.leaseExpiries++
+		s.m.leaseExpiries.Inc()
+		t.attempts++
+		t.lastWorker = l.worker
+		switch {
+		case len(t.waiters) == 0:
+			// Every job wanting it was canceled while leased; nothing
+			// to retry for.
+			delete(s.tasks, t.hash)
+		case t.attempts >= s.maxAttempts():
+			s.stats.quarantined++
+			s.m.quarantines.Inc()
+			t.completing = true
+			s.logger.Warn("spec quarantined",
+				"hash", t.hash, "attempts", t.attempts, "last_worker", l.worker)
+			s.complete(t, sweep.Outcome{Err: &dramlat.QuarantineError{
+				SpecHash: t.hash, Attempts: t.attempts, LastWorker: l.worker,
+			}})
+		default:
+			s.stats.retried++
+			s.m.retries.Inc()
+			t.running = false
+			t.leaseID = ""
+			t.notBefore = now.Add(s.retryBackoff.Delay(t.attempts - 1))
+			s.delayed = append(s.delayed, t)
+			s.m.retryBacklog.Set(float64(len(s.delayed)))
+			s.logger.Warn("lease expired, spec re-queued",
+				"lease", l.id, "worker", l.worker, "hash", t.hash,
+				"attempt", t.attempts, "retry_in", time.Until(t.notBefore).Round(time.Millisecond))
+		}
+	}
+
+	// Promote retry-delayed specs whose backoff elapsed.
+	kept := s.delayed[:0]
+	promoted := false
+	for _, t := range s.delayed {
+		if now.Before(t.notBefore) {
+			kept = append(kept, t)
+			continue
+		}
+		s.seq++
+		t.seq = s.seq
+		t.queued = now
+		heap.Push(&s.pq, t)
+		s.m.queueDepth.Inc()
+		promoted = true
+	}
+	for i := len(kept); i < len(s.delayed); i++ {
+		s.delayed[i] = nil
+	}
+	s.delayed = kept
+	if promoted {
+		s.m.retryBacklog.Set(float64(len(s.delayed)))
+		s.workCond.Broadcast()
+	}
+
+	// Forget workers that hold nothing and have not spoken in a while.
+	for name, fw := range s.fleet {
+		if fw.active == 0 && now.Sub(fw.lastSeen) > s.workerExpiry() {
+			delete(s.fleet, name)
+			s.m.fleetWorkers.Set(float64(len(s.fleet)))
+			s.logger.Info("fleet worker expired", "worker", name)
+		}
+	}
+}

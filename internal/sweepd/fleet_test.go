@@ -1,0 +1,490 @@
+package sweepd
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dramlat"
+	"dramlat/internal/guard/backoff"
+	"dramlat/internal/metrics"
+	"dramlat/internal/sweep"
+)
+
+// Fleet tests drive the lease protocol directly (Claim / Heartbeat /
+// CompleteLease) and force expiry deterministically by calling
+// sweepOnce with a synthetic "now", so no test sleeps out a TTL.
+
+// fastBackoff keeps retry delays effectively zero and jitter-free.
+var fastBackoff = backoff.Policy{Base: time.Microsecond, Cap: time.Microsecond, Factor: 2}
+
+func newFleetServer(t *testing.T, run *stubRunner, opts Options) *Server {
+	t.Helper()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.RetryBackoff == (backoff.Policy{}) {
+		opts.RetryBackoff = fastBackoff
+	}
+	if opts.SweepEvery == 0 {
+		// Park the background sweeper; tests call sweepOnce directly.
+		opts.SweepEvery = time.Hour
+	}
+	s := NewWithOptions(&sweep.Engine{Workers: 1, Cache: cache, Runner: run.run},
+		nil, metrics.NewRegistry(), opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// claimNow claims with no long-poll and fails the test on error.
+func claimNow(t *testing.T, s *Server, worker string) ClaimResponse {
+	t.Helper()
+	resp, err := s.Claim(context.Background(), worker, 0)
+	if err != nil {
+		t.Fatalf("claim(%s): %v", worker, err)
+	}
+	return resp
+}
+
+// runOutcome produces the outcome a healthy worker would return for a
+// granted lease, using the stub runner's deterministic results.
+func runOutcome(run *stubRunner, lease ClaimResponse) sweep.Outcome {
+	res, err := run.run(*lease.Spec)
+	return sweep.Outcome{Spec: *lease.Spec, Hash: lease.Hash, Results: res, Err: err,
+		Elapsed: time.Millisecond}
+}
+
+// expireLeases advances the failure detector past every live lease.
+func expireLeases(s *Server) {
+	s.sweepOnce(time.Now().Add(s.leaseTTL() + time.Second))
+}
+
+func TestFleetClaimExecuteComplete(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	if s.Workers() != 0 {
+		t.Fatalf("fleet-only server reports %d local workers", s.Workers())
+	}
+	st, err := s.Submit(specList(1, 2, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		lease := claimNow(t, s, "w1")
+		if lease.LeaseID == "" || lease.Spec == nil {
+			t.Fatalf("claim %d came back empty: %+v", i, lease)
+		}
+		if lease.Attempt != 0 {
+			t.Fatalf("fresh lease reports attempt %d", lease.Attempt)
+		}
+		if hb, err := s.Heartbeat(lease.LeaseID); err != nil || !hb.OK || hb.Abandon {
+			t.Fatalf("heartbeat: %+v err %v", hb, err)
+		}
+		cr, err := s.CompleteLease(lease.LeaseID, lease.Hash, runOutcome(run, lease))
+		if err != nil || !cr.Accepted || cr.Late {
+			t.Fatalf("complete: %+v err %v", cr, err)
+		}
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.State != JobDone || fin.Executed != 3 || fin.Failed != 0 {
+		t.Fatalf("job after fleet execution: %+v", fin)
+	}
+	// Empty queue answers an empty response, not an error.
+	if lease := claimNow(t, s, "w1"); lease.LeaseID != "" || lease.Draining {
+		t.Fatalf("claim on empty queue: %+v", lease)
+	}
+	stats := s.Stats()
+	if stats.FleetWorkers != 1 || stats.ActiveLeases != 0 || stats.LeaseExpiries != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestFleetClaimLongPollWakesOnSubmit(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	type claimRes struct {
+		resp ClaimResponse
+		err  error
+	}
+	got := make(chan claimRes, 1)
+	go func() {
+		resp, err := s.Claim(context.Background(), "w1", 10*time.Second)
+		got <- claimRes{resp, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the claim park in the long poll
+	if _, err := s.Submit(specList(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cr := <-got:
+		if cr.err != nil || cr.resp.LeaseID == "" {
+			t.Fatalf("long-poll claim: %+v err %v", cr.resp, cr.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll claim never woke on submit")
+	}
+}
+
+func TestFleetClaimCanceledContext(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	if _, err := s.Claim(ctx, "w1", 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("claim with canceled ctx: %v", err)
+	}
+	if _, err := s.Claim(context.Background(), "", 0); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("claim without a worker name: %v", err)
+	}
+}
+
+// TestFleetLeaseExpiryRequeues is the crash-safety core: a worker that
+// claims and dies (never heartbeats) loses the lease, the spec is
+// re-queued with its attempt count, and a healthy worker finishes the
+// job — results identical to an uninterrupted run.
+func TestFleetLeaseExpiryRequeues(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1, LeaseTTL: time.Minute})
+	st, err := s.Submit(specList(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := claimNow(t, s, "doomed")
+	if dead.LeaseID == "" {
+		t.Fatal("no lease granted")
+	}
+	expireLeases(s) // "doomed" never came back; re-queue with backoff
+	// The retry delay is microseconds; a second pass promotes it.
+	expireLeases(s)
+	if _, err := s.Heartbeat(dead.LeaseID); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("heartbeat on expired lease: %v", err)
+	}
+	retry := claimNow(t, s, "healthy")
+	if retry.LeaseID == "" {
+		t.Fatal("re-queued spec not claimable")
+	}
+	if retry.Attempt != 1 {
+		t.Fatalf("retry lease reports attempt %d, want 1", retry.Attempt)
+	}
+	if retry.Hash != dead.Hash {
+		t.Fatalf("retry handed a different spec: %s vs %s", retry.Hash, dead.Hash)
+	}
+	if cr, err := s.CompleteLease(retry.LeaseID, retry.Hash, runOutcome(run, retry)); err != nil || !cr.Accepted {
+		t.Fatalf("complete: %+v err %v", cr, err)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.State != JobDone || fin.Executed != 1 || fin.Failed != 0 {
+		t.Fatalf("job after worker death: %+v", fin)
+	}
+	stats := s.Stats()
+	if stats.LeaseExpiries != 1 || stats.Retried != 1 || stats.Quarantined != 0 {
+		t.Fatalf("stats after one expiry: %+v", stats)
+	}
+}
+
+// TestFleetQuarantine: a spec whose every execution kills its worker
+// must not wedge the fleet — after the lease budget it completes with
+// a typed QuarantineError and the job terminates.
+func TestFleetQuarantine(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1, LeaseAttempts: 2})
+	st, err := s.Submit(specList(13), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		lease := claimNow(t, s, "crashy")
+		if lease.LeaseID == "" {
+			t.Fatalf("attempt %d: nothing claimable", attempt)
+		}
+		if lease.Attempt != attempt {
+			t.Fatalf("lease attempt %d, want %d", lease.Attempt, attempt)
+		}
+		expireLeases(s)
+		expireLeases(s) // promote the retry (attempt 1) / quarantine (attempt 2)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.State != JobDone || fin.Failed != 1 {
+		t.Fatalf("job with poison spec: %+v", fin)
+	}
+	rep, _, err := s.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qe *dramlat.QuarantineError
+	if !errors.As(rep.Outcomes[0].Err, &qe) {
+		t.Fatalf("outcome error %v (%T) is not a QuarantineError", rep.Outcomes[0].Err, rep.Outcomes[0].Err)
+	}
+	if qe.Attempts != 2 || qe.LastWorker != "crashy" || qe.SpecHash != rep.Outcomes[0].Hash {
+		t.Fatalf("quarantine payload: %+v", qe)
+	}
+	if rep.Outcomes[0].Kind() != sweep.KindQuarantined {
+		t.Fatalf("outcome kind %q", rep.Outcomes[0].Kind())
+	}
+	// Nothing left to claim: the poison spec is retired, not cycling.
+	if lease := claimNow(t, s, "crashy"); lease.LeaseID != "" {
+		t.Fatalf("quarantined spec re-leased: %+v", lease)
+	}
+	if stats := s.Stats(); stats.Quarantined != 1 || stats.LeaseExpiries != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// TestFleetLateCompletionWins: a worker that merely ran slow (lease
+// expired, spec re-leased elsewhere) still gets its result accepted;
+// the duplicate execution is retired when it reports.
+func TestFleetLateCompletionWins(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	st, err := s.Submit(specList(21), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := claimNow(t, s, "slow")
+	expireLeases(s)
+	expireLeases(s)
+	second := claimNow(t, s, "second")
+	if second.LeaseID == "" || second.LeaseID == slow.LeaseID {
+		t.Fatalf("re-lease: %+v", second)
+	}
+	// The slow worker finishes first, after its lease already expired.
+	cr, err := s.CompleteLease(slow.LeaseID, slow.Hash, runOutcome(run, slow))
+	if err != nil || !cr.Accepted || !cr.Late {
+		t.Fatalf("late completion: %+v err %v", cr, err)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.State != JobDone || fin.Executed != 1 {
+		t.Fatalf("job after late completion: %+v", fin)
+	}
+	// The second worker's duplicate result is politely declined.
+	if _, err := s.CompleteLease(second.LeaseID, second.Hash, runOutcome(run, second)); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("duplicate completion: %v", err)
+	}
+	if stats := s.Stats(); stats.LateCompletions != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// TestFleetClaimServesCacheHits: specs already in the server cache
+// never reach a remote worker — the claim loop completes them
+// server-side and keeps looking for real work.
+func TestFleetClaimServesCacheHits(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	first, err := s.Submit(specList(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := claimNow(t, s, "w1")
+	if _, err := s.CompleteLease(lease.LeaseID, lease.Hash, runOutcome(run, lease)); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, first.ID)
+
+	again, err := s.Submit(specList(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resubmitted spec is cache-served inside Claim; the claim
+	// comes back empty and the job completes without a worker.
+	if lease := claimNow(t, s, "w1"); lease.LeaseID != "" {
+		t.Fatalf("cached spec leased to a worker: %+v", lease)
+	}
+	fin := waitJob(t, s, again.ID)
+	if fin.State != JobDone || fin.Cached != 1 || fin.Executed != 0 {
+		t.Fatalf("resubmitted job: %+v", fin)
+	}
+	if got := run.count(specN(5).Hash()); got != 1 {
+		t.Fatalf("spec executed %d times, want 1", got)
+	}
+}
+
+// TestFleetDrainFailsLeasesFast: a drain must not wait out lease TTLs
+// — open leases are dropped immediately, their specs marked drained,
+// and a worker still holding one learns via ErrLeaseGone. Its result,
+// arriving after the drain, is still banked to the cache for resume.
+func TestFleetDrainFailsLeasesFast(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1, LeaseTTL: time.Hour})
+	st, err := s.Submit(specList(31), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := claimNow(t, s, "w1")
+	if lease.LeaseID == "" {
+		t.Fatal("no lease granted")
+	}
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain waited on an open lease (TTL is an hour)")
+	}
+	fin, err := s.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobResumable {
+		t.Fatalf("job after drain: %+v", fin)
+	}
+	rep, _, err := s.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rep.Outcomes[0].Err, ErrDrained) {
+		t.Fatalf("drained spec error: %v", rep.Outcomes[0].Err)
+	}
+	if _, err := s.Heartbeat(lease.LeaseID); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("heartbeat after drain: %v", err)
+	}
+	// The worker finishes anyway; its result lands in the cache so the
+	// resubmitted job is served instantly next time.
+	s.CompleteLease(lease.LeaseID, lease.Hash, runOutcome(run, lease))
+	if _, _, ok := s.Result(lease.Hash); !ok {
+		t.Fatal("post-drain completion not banked to the cache")
+	}
+	// Claims during/after drain answer Draining, telling workers to exit.
+	resp, err := s.Claim(context.Background(), "w1", 0)
+	if err != nil || !resp.Draining {
+		t.Fatalf("claim during drain: %+v err %v", resp, err)
+	}
+}
+
+// TestFleetCancelDropsRetryBacklog: canceling the only job waiting on
+// a retry-delayed spec removes it from the backlog (regression: the
+// old Cancel called heap.Remove on index -1 and panicked).
+func TestFleetCancelDropsRetryBacklog(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	st, err := s.Submit(specList(41), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimNow(t, s, "doomed")
+	expireLeases(s) // spec now sits in the retry backlog (delayed list)
+	if s.Stats().RetryBacklog != 1 {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().RetryBacklog; got != 0 {
+		t.Fatalf("retry backlog after cancel: %d", got)
+	}
+	// The sweeper finds nothing left to promote.
+	expireLeases(s)
+	if lease := claimNow(t, s, "w2"); lease.LeaseID != "" {
+		t.Fatalf("canceled spec re-leased: %+v", lease)
+	}
+}
+
+// TestFleetCancelWhileLeased: canceling every waiter of a leased spec
+// flags Abandon on the next heartbeat. A worker that completes anyway
+// is not turned away — the compute is real, so the result is accepted
+// and banked to the cache (regression: Cancel used to delete a leased
+// task from the dedup map while its lease stayed live).
+func TestFleetCancelWhileLeased(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	st, err := s.Submit(specList(43), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := claimNow(t, s, "w1")
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := s.Heartbeat(lease.LeaseID)
+	if err != nil || !hb.Abandon {
+		t.Fatalf("heartbeat after cancel: %+v err %v", hb, err)
+	}
+	cr, err := s.CompleteLease(lease.LeaseID, lease.Hash, runOutcome(run, lease))
+	if err != nil || !cr.Accepted {
+		t.Fatalf("completion of canceled spec: %+v err %v", cr, err)
+	}
+	if _, _, ok := s.Result(lease.Hash); !ok {
+		t.Fatal("canceled spec's completion not banked to the cache")
+	}
+	s.mu.Lock()
+	ntasks, nleases := len(s.tasks), len(s.leases)
+	s.mu.Unlock()
+	if ntasks != 0 || nleases != 0 {
+		t.Fatalf("leftover state after canceled completion: %d tasks, %d leases", ntasks, nleases)
+	}
+}
+
+// TestFleetTelemetrySpecsStayLocal: artifact capture writes into the
+// server's filesystem, so telemetry jobs are never leased out.
+func TestFleetTelemetrySpecsStayLocal(t *testing.T) {
+	run := newStubRunner()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sweep.Engine{Workers: 1, Cache: cache, Runner: run.run,
+		TelemetryDir: t.TempDir()}
+	s := NewWithOptions(eng, nil, metrics.NewRegistry(),
+		Options{RetryBackoff: fastBackoff, SweepEvery: time.Hour})
+	t.Cleanup(s.Close)
+	st, err := s.SubmitJob(specList(51), JobOptions{
+		Telemetry: dramlat.TelemetryOptions{Events: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A remote claim racing the local pool must never see this task.
+	if lease := claimNow(t, s, "w1"); lease.LeaseID != "" {
+		t.Fatalf("telemetry spec leased to remote worker: %+v", lease)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.State != JobDone || fin.Failed != 0 {
+		t.Fatalf("telemetry job: %+v", fin)
+	}
+}
+
+// TestFleetOnlyRejectsTelemetry: with no local pool there is nothing
+// that could ever run a telemetry spec; reject at submit.
+func TestFleetOnlyRejectsTelemetry(t *testing.T) {
+	run := newStubRunner()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sweep.Engine{Workers: 1, Cache: cache, Runner: run.run,
+		TelemetryDir: t.TempDir()}
+	s := NewWithOptions(eng, nil, metrics.NewRegistry(),
+		Options{LocalWorkers: -1, RetryBackoff: fastBackoff, SweepEvery: time.Hour})
+	t.Cleanup(s.Close)
+	_, err = s.SubmitJob(specList(52), JobOptions{
+		Telemetry: dramlat.TelemetryOptions{Events: true}})
+	if !errors.Is(err, ErrTelemetryRemote) {
+		t.Fatalf("telemetry submit on fleet-only server: %v", err)
+	}
+}
+
+// TestFleetWaiterlessExpiryDropsSpec: a lease whose job was canceled
+// expires into nothing — no retry, no quarantine, no leak.
+func TestFleetWaiterlessExpiryDropsSpec(t *testing.T) {
+	run := newStubRunner()
+	s := newFleetServer(t, run, Options{LocalWorkers: -1})
+	st, err := s.Submit(specList(61), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimNow(t, s, "w1")
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	expireLeases(s)
+	s.mu.Lock()
+	ntasks, ndelayed := len(s.tasks), len(s.delayed)
+	s.mu.Unlock()
+	if ntasks != 0 || ndelayed != 0 {
+		t.Fatalf("waiterless expiry leaked: %d tasks, %d delayed", ntasks, ndelayed)
+	}
+	if stats := s.Stats(); stats.Retried != 0 || stats.Quarantined != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}

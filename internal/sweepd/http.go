@@ -29,6 +29,13 @@ import (
 //	GET    /results/{hash}/artifacts/{name}  fetch one artifact verbatim
 //	GET    /health                       stats / liveness
 //	GET    /dashboard                    live single-page status view (SSE-fed)
+//	POST   /workers/claim                fleet: claim a queued spec under a lease
+//	POST   /workers/heartbeat            fleet: renew a lease
+//	POST   /workers/complete             fleet: return a spec's typed outcome
+//
+// The stream endpoint accepts ?offset=N to resume after a dropped
+// connection: the first N outcome events are skipped, so a client that
+// already consumed them replays nothing.
 //
 // plus two root-level operational endpoints:
 //
@@ -110,6 +117,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/results/{hash}/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("GET /api/v1/health", s.handleHealth)
 	mux.HandleFunc("GET /api/v1/dashboard", s.handleDashboard)
+	mux.HandleFunc("POST /api/v1/workers/claim", s.handleClaim)
+	mux.HandleFunc("POST /api/v1/workers/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/workers/complete", s.handleComplete)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s.withRequestLog(mux)
@@ -146,7 +156,11 @@ func (s *Server) withRequestLog(next http.Handler) http.Handler {
 		s.m.httpSeconds.Observe(elapsed.Seconds())
 		level := slog.LevelInfo
 		switch r.URL.Path {
-		case "/metrics", "/healthz", "/api/v1/health":
+		case "/metrics", "/healthz", "/api/v1/health",
+			"/api/v1/workers/claim", "/api/v1/workers/heartbeat",
+			"/api/v1/workers/complete":
+			// Scrapes and the fleet's claim/heartbeat chatter would
+			// drown the job lifecycle log at Info.
 			level = slog.LevelDebug
 		}
 		s.logger.Log(r.Context(), level, "http",
@@ -318,6 +332,60 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, st)
 }
 
+// handleClaim is the fleet's work-pull endpoint: it long-polls up to
+// the requested wait for a queued spec and answers with a lease (or
+// "nothing queued" / "draining"). The wait is clamped server-side so a
+// buggy client cannot pin a handler goroutine for hours.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait > time.Minute {
+		wait = time.Minute
+	}
+	resp, err := s.Claim(r.Context(), req.Worker, wait)
+	if err != nil {
+		if errors.Is(err, ErrUnknownWorker) {
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return // client gone mid-poll; nothing useful to write
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := s.Heartbeat(req.LeaseID)
+	if err != nil {
+		// 410 Gone is the protocol's "abandon this spec" signal; the
+		// client maps it back to ErrLeaseGone.
+		writeErr(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := s.CompleteLease(req.LeaseID, req.Hash, req.Outcome)
+	if err != nil {
+		writeErr(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleStream replays a job's event log and then follows it live until
 // the job reaches a terminal state or the client disconnects. Each
 // event is one StreamEvent; the stream always ends with a terminal
@@ -363,6 +431,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	offset := 0
+	if q := r.URL.Query().Get("offset"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			// Headers are already out; emit nothing and end the stream
+			// rather than mislabel replayed events. Clients send offsets
+			// they counted themselves, so this only catches hand-typed
+			// URLs.
+			return
+		}
+		offset = n
+	}
 	for {
 		events, state, err := s.Events(r.Context(), id, offset)
 		if err != nil {

@@ -29,6 +29,17 @@ type serverMetrics struct {
 	specOutcomes  *metrics.CounterVec // by sweep.OutcomeKind
 	execSeconds   *metrics.HistogramVec
 
+	// Fleet: remote workers pulling specs under leases (fleet.go).
+	fleetWorkers    *metrics.Gauge
+	leasesActive    *metrics.Gauge
+	retryBacklog    *metrics.Gauge
+	claims          *metrics.CounterVec // by result
+	heartbeats      *metrics.CounterVec // by result
+	leaseExpiries   *metrics.Counter
+	retries         *metrics.Counter
+	quarantines     *metrics.Counter
+	lateCompletions *metrics.Counter
+
 	// Streaming and shutdown.
 	streamSubs   *metrics.Gauge
 	draining     *metrics.Gauge
@@ -64,6 +75,24 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		execSeconds: reg.HistogramVec("dramlat_sweepd_exec_seconds",
 			"Execution latency of specs freshly simulated by this server.",
 			nil, "scheduler"),
+		fleetWorkers: reg.Gauge("dramlat_sweepd_workers_fleet",
+			"Remote workers currently registered with the fleet."),
+		leasesActive: reg.Gauge("dramlat_sweepd_workers_leases_active",
+			"Specs currently checked out to remote workers under a live lease."),
+		retryBacklog: reg.Gauge("dramlat_sweepd_workers_retry_backlog",
+			"Specs waiting out a retry backoff after a lease expiry."),
+		claims: reg.CounterVec("dramlat_sweepd_workers_claims_total",
+			"Worker claim requests, by result (granted, cached, empty, draining).", "result"),
+		heartbeats: reg.CounterVec("dramlat_sweepd_workers_heartbeats_total",
+			"Worker lease renewals, by result (ok, gone).", "result"),
+		leaseExpiries: reg.Counter("dramlat_sweepd_workers_lease_expiries_total",
+			"Leases that expired without a completion (worker presumed dead)."),
+		retries: reg.Counter("dramlat_sweepd_workers_retries_total",
+			"Specs re-queued after a lease expiry; equals lease expiries minus quarantines and abandoned specs."),
+		quarantines: reg.Counter("dramlat_sweepd_workers_quarantines_total",
+			"Poison specs retired with a QuarantineError after exhausting their lease budget."),
+		lateCompletions: reg.Counter("dramlat_sweepd_workers_late_completions_total",
+			"Completions accepted after their lease had already expired (slow worker won the race)."),
 		streamSubs: reg.Gauge("dramlat_sweepd_stream_subscribers",
 			"Open progress-stream connections."),
 		draining: reg.Gauge("dramlat_sweepd_draining",

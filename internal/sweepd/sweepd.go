@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dramlat"
+	"dramlat/internal/guard/backoff"
 	"dramlat/internal/metrics"
 	"dramlat/internal/sweep"
 )
@@ -64,6 +65,11 @@ var ErrDraining = errors.New("sweepd: server is draining")
 // server without an artifact directory.
 var ErrTelemetryDisabled = errors.New("sweepd: server has no artifact dir; telemetry capture disabled")
 
+// ErrTelemetryRemote rejects telemetry-capture submissions on a
+// fleet-only server: artifact capture writes into the server's own
+// artifact dir, so those specs need local workers.
+var ErrTelemetryRemote = errors.New("sweepd: telemetry capture requires local workers; this server is fleet-only")
+
 // Stats is the health/stats endpoint payload. Counters are cumulative
 // over the server's lifetime; Executed counts specs actually simulated
 // (a resubmitted, fully cached grid leaves it untouched). Build
@@ -82,6 +88,15 @@ type Stats struct {
 	Failed      int64  `json:"failed"`
 	CacheDir    string `json:"cache_dir,omitempty"`
 	ArtifactDir string `json:"artifact_dir,omitempty"`
+
+	// Fleet counters (zero on a server no remote worker ever joined).
+	FleetWorkers    int   `json:"fleet_workers"`
+	ActiveLeases    int   `json:"active_leases"`
+	RetryBacklog    int   `json:"retry_backlog"`
+	LeaseExpiries   int64 `json:"lease_expiries"`
+	Retried         int64 `json:"retried"`
+	Quarantined     int64 `json:"quarantined"`
+	LateCompletions int64 `json:"late_completions"`
 
 	Version   string    `json:"version,omitempty"`
 	Revision  string    `json:"revision,omitempty"`
@@ -133,6 +148,15 @@ type task struct {
 	running  bool
 	index    int       // heap index; -1 once claimed or removed
 	queued   time.Time // enqueue instant, for the queue-wait histogram
+	// Fleet bookkeeping (fleet.go): how many leases on this spec have
+	// expired, which lease currently holds it, when a retry-delayed
+	// copy may re-enter the heap, and whether a completion has claimed
+	// it (late-completion race fence).
+	attempts   int
+	lastWorker string
+	leaseID    string
+	notBefore  time.Time
+	completing bool
 	// tel is the merged telemetry request of every waiter that asked
 	// for artifact capture: any waiter enabling a subsystem enables it
 	// for the single shared execution. Joining a task that is already
@@ -215,6 +239,7 @@ func (j *job) status() JobStatus {
 // eventCond wakes progress streams when any job advances.
 type Server struct {
 	eng     *sweep.Engine
+	opts    Options
 	logger  *slog.Logger
 	m       *serverMetrics
 	started time.Time
@@ -235,9 +260,46 @@ type Server struct {
 	running  int
 	stats    struct {
 		executed, cacheHits, deduped, failed int64
+		leaseExpiries, retried, quarantined  int64
+		lateCompletions                      int64
 	}
 
-	wg sync.WaitGroup // worker goroutines
+	// Fleet state (fleet.go): leases checked out to remote workers,
+	// specs waiting out a retry backoff, and the worker registry.
+	leases       map[string]*lease
+	delayed      []*task
+	fleet        map[string]*fleetWorker
+	leaseSeq     int64
+	retryBackoff backoff.Policy
+
+	wg        sync.WaitGroup // local worker goroutines
+	swg       sync.WaitGroup // expiry sweeper
+	sweepStop chan struct{}
+	sweepOff  sync.Once
+}
+
+// Options tune the server beyond the engine's own knobs. The zero
+// value matches the pre-fleet behavior: a local pool sized by the
+// engine, 30s leases, 3 attempts before quarantine.
+type Options struct {
+	// LocalWorkers sizes the in-process execution pool: 0 uses the
+	// engine's Workers (GOMAXPROCS when that is also unset), -1 runs
+	// no local workers at all — every spec waits for a remote worker
+	// to claim it (fleet-only mode).
+	LocalWorkers int
+	// LeaseTTL is how long a claimed spec may go without a heartbeat
+	// before it is presumed lost and re-queued (default 30s).
+	LeaseTTL time.Duration
+	// LeaseAttempts is the per-spec lease budget: after this many
+	// expired leases the spec is quarantined (default 3).
+	LeaseAttempts int
+	// RetryBackoff delays each re-queue after a lease expiry. The
+	// zero value is backoff.Default() (100ms base, 30s cap, ×2,
+	// half-width jitter).
+	RetryBackoff backoff.Policy
+	// SweepEvery overrides the expiry-scan cadence (default TTL/4,
+	// clamped to [5ms, 1s]). Tests use small values.
+	SweepEvery time.Duration
 }
 
 // New starts a server with eng's worker count (Workers <= 0 means
@@ -253,35 +315,51 @@ func New(eng *sweep.Engine, logger *slog.Logger) *Server {
 // registry — tests use a fresh registry so counters start at zero.
 // Engine and cache families still land on metrics.Default.
 func NewWithMetrics(eng *sweep.Engine, logger *slog.Logger, reg *metrics.Registry) *Server {
+	return NewWithOptions(eng, logger, reg, Options{})
+}
+
+// NewWithOptions is the full constructor: pool sizing, lease TTL and
+// retry policy for the remote-worker tier (fleet.go).
+func NewWithOptions(eng *sweep.Engine, logger *slog.Logger, reg *metrics.Registry, opts Options) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		eng: eng, logger: logger,
+		eng: eng, opts: opts, logger: logger,
 		m:       newServerMetrics(reg),
 		started: time.Now(),
 		ctx:     ctx, cancel: cancel,
-		jobs:  map[string]*job{},
-		tasks: map[string]*task{},
+		jobs:      map[string]*job{},
+		tasks:     map[string]*task{},
+		leases:    map[string]*lease{},
+		fleet:     map[string]*fleetWorker{},
+		sweepStop: make(chan struct{}),
 	}
+	s.retryBackoff = opts.RetryBackoff
 	s.workCond = sync.NewCond(&s.mu)
 	s.evCond = sync.NewCond(&s.mu)
-	n := eng.Workers
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
+	n := s.Workers()
 	s.m.workers.Set(float64(n))
 	for i := 0; i < n; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
-	s.logger.Info("sweepd up", "workers", n, "cache", eng.Cache.Dir())
+	s.swg.Add(1)
+	go s.sweeper()
+	s.logger.Info("sweepd up", "workers", n, "cache", eng.Cache.Dir(),
+		"lease_ttl", s.leaseTTL(), "lease_attempts", s.maxAttempts())
 	return s
 }
 
-// Workers reports the pool size.
+// Workers reports the local pool size (0 on a fleet-only server).
 func (s *Server) Workers() int {
+	if s.opts.LocalWorkers < 0 {
+		return 0
+	}
+	if s.opts.LocalWorkers > 0 {
+		return s.opts.LocalWorkers
+	}
 	n := s.eng.Workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -321,8 +399,15 @@ func (s *Server) SubmitJob(specs []dramlat.RunSpec, opts JobOptions) (JobStatus,
 	if len(specs) == 0 {
 		return JobStatus{}, errors.New("sweepd: job has no specs")
 	}
-	if opts.Telemetry.Enabled() && s.eng.TelemetryDir == "" {
-		return JobStatus{}, ErrTelemetryDisabled
+	if opts.Telemetry.Enabled() {
+		if s.eng.TelemetryDir == "" {
+			return JobStatus{}, ErrTelemetryDisabled
+		}
+		// Telemetry tasks only run on the local pool (popClaimableLocked
+		// skips them), so a fleet-only server would queue them forever.
+		if s.Workers() == 0 {
+			return JobStatus{}, ErrTelemetryRemote
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -354,9 +439,13 @@ func (s *Server) SubmitJob(specs []dramlat.RunSpec, opts JobOptions) (JobStatus,
 			if !t.running {
 				t.tel = mergeTelemetry(t.tel, opts.Telemetry)
 			}
-			if opts.Priority > t.priority && t.index >= 0 {
+			if opts.Priority > t.priority && !t.running {
+				// The task may sit in the heap or in the retry-delayed
+				// list; only heap residents need a re-sift.
 				t.priority = opts.Priority
-				heap.Fix(&s.pq, t.index)
+				if t.index >= 0 {
+					heap.Fix(&s.pq, t.index)
+				}
 			}
 			continue
 		}
@@ -529,10 +618,15 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 			}
 		}
 		t.waiters = kept
-		if len(kept) == 0 && !t.running {
-			heap.Remove(&s.pq, t.index)
+		if len(kept) == 0 && !t.running && t.leaseID == "" {
+			// The task may be in the ready heap or the retry-delayed
+			// list; unqueueLocked handles both. A running or leased
+			// task stays: the local worker (or the remote one, via
+			// heartbeat Abandon) learns nobody wants it, the lease
+			// sweeper forgets it if it expires waiterless, and a
+			// completion that arrives anyway still banks its result.
+			s.unqueueLocked(t)
 			delete(s.tasks, h)
-			s.m.queueDepth.Dec()
 		}
 	}
 	for i := range j.specs {
@@ -643,9 +737,13 @@ func (s *Server) Stats() Stats {
 		Running:  s.running,
 		Executed: s.stats.executed, CacheHits: s.stats.cacheHits,
 		Deduped: s.stats.deduped, Failed: s.stats.failed,
-		CacheDir:    s.eng.Cache.Dir(),
-		ArtifactDir: s.eng.TelemetryDir,
-		Version:     bi[0], Revision: bi[1], GoVersion: bi[2],
+		CacheDir:     s.eng.Cache.Dir(),
+		ArtifactDir:  s.eng.TelemetryDir,
+		FleetWorkers: len(s.fleet), ActiveLeases: len(s.leases),
+		RetryBacklog:  len(s.delayed),
+		LeaseExpiries: s.stats.leaseExpiries, Retried: s.stats.retried,
+		Quarantined: s.stats.quarantined, LateCompletions: s.stats.lateCompletions,
+		Version: bi[0], Revision: bi[1], GoVersion: bi[2],
 		StartTime: s.started,
 		UptimeMS:  time.Since(s.started).Milliseconds(),
 	}
@@ -653,6 +751,9 @@ func (s *Server) Stats() Stats {
 		st.State = "draining"
 	}
 	for _, t := range s.pq {
+		st.QueuedSpecs += len(t.waiters)
+	}
+	for _, t := range s.delayed {
 		st.QueuedSpecs += len(t.waiters)
 	}
 	for _, j := range s.jobs {
@@ -664,21 +765,34 @@ func (s *Server) Stats() Stats {
 }
 
 // Drain performs a graceful shutdown: stop dequeuing, let in-flight
-// specs finish (their results persist to the cache), then mark every
-// unfinished job resumable — its pending specs get ErrDrained outcomes
-// and open streams terminate. New submissions are rejected from the
-// first moment. Safe to call more than once.
+// local specs finish (their results persist to the cache), then mark
+// every unfinished job resumable — its pending specs get ErrDrained
+// outcomes and open streams terminate. New submissions are rejected
+// from the first moment. Open remote leases fail fast: they are
+// dropped immediately — not waited out to their TTL — so their specs
+// land in the resumable set at once; a worker still executing one
+// learns on its next heartbeat (ErrLeaseGone) and its eventual result
+// is banked to the cache for the resume. Safe to call more than once.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
 	s.m.draining.Set(1)
 	s.m.drainPending.Set(float64(s.running))
+	for _, l := range s.leases {
+		s.dropLeaseLocked(l)
+		s.logger.Info("drain: lease failed open", "lease", l.id,
+			"worker", l.worker, "hash", l.t.hash)
+	}
+	s.delayed = nil
+	s.m.retryBacklog.Set(0)
 	s.workCond.Broadcast()
 	s.mu.Unlock()
 	if !already {
 		s.logger.Info("draining", "in_flight", s.Stats().Running)
 	}
+	s.sweepOff.Do(func() { close(s.sweepStop) })
+	s.swg.Wait()
 	s.wg.Wait()
 
 	s.mu.Lock()

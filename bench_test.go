@@ -290,6 +290,29 @@ func BenchmarkRunEventDriven(b *testing.B) { benchEngine(b, "event") }
 // 1/2/4/8) lives in scripts/bench5.
 func BenchmarkRunParallel(b *testing.B) { benchEngine(b, "parallel") }
 
+// BenchmarkRunSampled times the interval-sampling engine at full scale
+// (scale 0.1 kernels end inside the settle prefix, leaving nothing to
+// sample); the ratio to an equally scaled exact run is the statistical
+// fast-forward speedup. The full speedup-vs-error record lives in
+// scripts/bench10.
+func BenchmarkRunSampled(b *testing.B) {
+	b.ReportAllocs()
+	var ticks int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(RunSpec{
+			Benchmark: "bfs", Scheduler: "wg-w", Engine: "sampled",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Approximate || res.Sampling == nil || res.Sampling.Windows < 1 {
+			b.Fatalf("sampled run measured no windows: %+v", res.Sampling)
+		}
+		ticks += res.Ticks
+	}
+	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "sim-ticks/s")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (ticks/s) —
 // an engineering metric, not a paper figure.
 func BenchmarkSimulatorThroughput(b *testing.B) {

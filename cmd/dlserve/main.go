@@ -63,7 +63,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — results are engine-independent, so cache entries are shared")
+	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — all exact and engine-independent, so cache entries are shared (sampled is rejected: submit sampled specs instead)")
 	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
 	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight specs on shutdown before aborting them")
@@ -98,6 +98,14 @@ func main() {
 		eng.Telemetry = dramlat.TelemetryOptions{
 			Events: true, EventCap: *traceCap, SampleEvery: *sampleEvery,
 		}
+	}
+	if *engine == "sampled" {
+		// Mutate runs after the cache is keyed on the submitted spec, so
+		// forcing the sampled engine here would store approximate Results
+		// under exact specs' hashes — permanent cache poisoning. Sampled
+		// runs must be requested per spec (the hash-included Sampled
+		// block), never as a server-wide override.
+		fail(fmt.Errorf("-engine sampled is not a valid server-wide engine: sampled results are approximate and would be cached under exact spec hashes; submit specs with a Sampled block instead"))
 	}
 	if *engine != "" || *shards != 0 {
 		// Engine selection is a server-side execution detail: Engine and

@@ -150,8 +150,11 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	server := flag.String("server", "", "run the sweep on a dlserve instance at this URL instead of locally")
 	priority := flag.Int("priority", 0, "with -server: job priority (higher runs first)")
-	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel — results are engine-independent, so cache entries are shared")
+	engine := flag.String("engine", "", "simulation engine: event (default), dense, parallel (all exact, sharing cache entries) or sampled (approximate, with error bars, cached separately)")
 	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = min(GOMAXPROCS, cores, SMs))")
+	sampleWindow := flag.Int64("sample-window", 0, "sampled engine: detailed measurement window cycles (0 = default)")
+	sampleFF := flag.Int64("sample-ff", 0, "sampled engine: fast-forward cycles per region (0 = default)")
+	sampleWarmup := flag.Int64("sample-warmup", 0, "sampled engine: detailed warm-up cycles after each jump (0 = default)")
 	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); overruns fail like any other spec")
 	cacheDir := flag.String("cache", defaultCacheDir(), "persistent result cache dir (\"none\" disables)")
 	format := flag.String("format", "json", "output format: json or csv")
@@ -233,6 +236,28 @@ func main() {
 	}
 
 	specs := g.Enumerate()
+	sampled := *engine == "sampled" || *sampleWindow != 0 || *sampleFF != 0 || *sampleWarmup != 0
+	if sampled {
+		if *traceDir != "" {
+			fail(fmt.Errorf("-engine sampled cannot be combined with -trace-dir: fast-forward regions are modeled and have no events to capture"))
+		}
+		// Materialize the hash-included Sampled block on every spec
+		// before any hashing happens: it is what travels to a dlserve
+		// instance (the Engine string is JSON-suppressed) and what keeps
+		// approximate results in their own cache entries, never shared
+		// with exact runs.
+		opts := dramlat.SampledOptions{
+			WindowCycles:      *sampleWindow,
+			FastForwardCycles: *sampleFF,
+			WarmupCycles:      *sampleWarmup,
+		}
+		if !opts.Enabled() {
+			opts = dramlat.DefaultSampled()
+		}
+		for i := range specs {
+			specs[i].Sampled = opts
+		}
+	}
 	var ex execer
 	var remote *client.Remote
 	if *server != "" {

@@ -51,7 +51,7 @@ func main() {
 	name := flag.String("name", "", "worker name reported to the server (default host-pid)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", defaultCacheDir(), "local result cache dir (private to this worker unless shared storage)")
-	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel")
+	engine := flag.String("engine", "", "simulation engine: event (default), dense or parallel (sampled is rejected: the server's spec hashes must keep exact results)")
 	shards := flag.Int("shards", 0, "parallel-engine worker count (0 = auto)")
 	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	poll := flag.Duration("poll", 15*time.Second, "claim long-poll window")
@@ -69,6 +69,12 @@ func main() {
 		fail(err)
 	}
 	eng := &sweep.Engine{Workers: 1, Cache: cache, RunTimeout: *runTimeout}
+	if *engine == "sampled" {
+		// Mutate runs after the claimed spec's hash fixed the cache key:
+		// a sampled override would complete approximate Results under
+		// exact hashes, poisoning both the local and the server cache.
+		fail(fmt.Errorf("-engine sampled is not a valid worker-wide engine: sampled runs are requested per spec via the Sampled block"))
+	}
 	if *engine != "" || *shards != 0 {
 		eng.Mutate = func(sp *dramlat.RunSpec) {
 			sp.Engine = *engine

@@ -92,6 +92,16 @@ type RunSpec struct {
 	// min(GOMAXPROCS, SMs). Results never depend on it; hash-excluded.
 	Shards int `json:"-"`
 
+	// Sampled configures the interval-sampling engine (Engine
+	// "sampled"): a non-zero block selects sampled execution even when
+	// Engine is empty. Unlike Engine/Shards these knobs are
+	// hash-INCLUDED: the sampled engine's Results are approximate and
+	// depend on the window parameters, so a sampled run must never
+	// share a result-cache entry with an exact run (or with a sampled
+	// run at different parameters). The zero block (exact engines)
+	// marshals to nothing, keeping exact specs' hashes unchanged.
+	Sampled SampledOptions `json:",omitzero"`
+
 	// MaxCycles caps the simulated cycles when non-zero (default
 	// gpu.DefaultConfig().MaxTicks). A run still live at the cap returns
 	// partial Results with a *StallError (kind "cycle-budget"). Excluded
@@ -127,6 +137,46 @@ type RunSpec struct {
 // RunSpec.Telemetry without importing the internal package path.
 type TelemetryOptions = telemetry.Options
 
+// SampledOptions parameterizes the interval-sampling engine: runs
+// alternate WindowCycles of full-fidelity measurement with
+// FastForwardCycles advanced by statistical models calibrated from the
+// window, after a WarmupCycles detailed prefix re-converges
+// cache/queue state. Zero cycle counts select gpu.Default*Cycles.
+// Seed perturbs the per-window RNG streams; together with the spec
+// hash it makes sampled runs byte-identical across workers and runs.
+type SampledOptions struct {
+	WindowCycles      int64
+	FastForwardCycles int64
+	WarmupCycles      int64
+	Seed              int64
+}
+
+// Enabled reports whether any sampling knob is set — a non-zero block
+// selects the sampled engine even when RunSpec.Engine is empty.
+func (o SampledOptions) Enabled() bool { return o != SampledOptions{} }
+
+// DefaultSampled returns the sampled engine's default window parameters
+// (the values a zero knob resolves to). Clients that need the Sampled
+// block to travel over the wire — the Engine string itself is
+// JSON-suppressed — materialize it with this instead of restating the
+// defaults.
+func DefaultSampled() SampledOptions {
+	p := gpu.SampledConfig{}.WithDefaults()
+	return SampledOptions{
+		WindowCycles:      p.WindowCycles,
+		FastForwardCycles: p.FastForwardCycles,
+		WarmupCycles:      p.WarmupCycles,
+	}
+}
+
+// IsSampled reports whether the spec selects the interval-sampling
+// engine — via Engine "sampled" or a non-zero Sampled block — and will
+// therefore produce approximate Results (Approximate=true). Sweep
+// tooling uses it to refuse telemetry capture for sampled runs.
+func (s RunSpec) IsSampled() bool {
+	return s.Engine == gpu.EngineSampled || s.Sampled.Enabled()
+}
+
 // Canonical returns the spec with every zero-valued "use the default"
 // field replaced by the default it resolves to, so that two specs that
 // select the same simulation compare (and hash) equal. The defaults are
@@ -149,6 +199,22 @@ func (s RunSpec) Canonical() RunSpec {
 	}
 	if s.Seed == 0 {
 		s.Seed = p.Seed
+	}
+	// A sampled run's results DO depend on the window parameters, so
+	// the Sampled block is materialized (defaults filled) while the
+	// Engine string itself stays hash-excluded below: Engine="sampled"
+	// and an explicit default Sampled block canonicalize — and cache —
+	// identically, and can never collide with an exact run, whose
+	// Sampled block stays zero and marshals to nothing.
+	if s.Engine == gpu.EngineSampled || s.Sampled.Enabled() {
+		p := gpu.SampledConfig{
+			WindowCycles:      s.Sampled.WindowCycles,
+			FastForwardCycles: s.Sampled.FastForwardCycles,
+			WarmupCycles:      s.Sampled.WarmupCycles,
+		}.WithDefaults()
+		s.Sampled.WindowCycles = p.WindowCycles
+		s.Sampled.FastForwardCycles = p.FastForwardCycles
+		s.Sampled.WarmupCycles = p.WarmupCycles
 	}
 	// Observability, engine choice and run-budget/cancellation knobs do
 	// not affect the simulation a completed run performs: canonical specs
@@ -193,6 +259,13 @@ func (s RunSpec) Validate() error {
 	}
 	if s.MaxCycles < 0 {
 		v.Addf("MaxCycles", s.MaxCycles, "must be >= 0 (0 selects the default)")
+	}
+	if s.Sampled.Enabled() {
+		switch s.Engine {
+		case "", gpu.EngineSampled:
+		default:
+			v.Addf("Sampled", s.Sampled, "sampling parameters require Engine \"sampled\" (or empty), not %q", s.Engine)
+		}
 	}
 	// The assembled config re-checks everything the spec maps onto
 	// (scheduler name, warp scheduler, geometry, queue shapes).
@@ -300,6 +373,20 @@ func Config(spec RunSpec) gpu.Config {
 	cfg.DenseLoop = spec.DenseLoop
 	cfg.Engine = spec.Engine
 	cfg.Shards = spec.Shards
+	if spec.Sampled.Enabled() && cfg.Engine == "" {
+		cfg.Engine = gpu.EngineSampled
+	}
+	if cfg.Engine == gpu.EngineSampled {
+		cfg.Sampled = gpu.SampledConfig{
+			WindowCycles:      spec.Sampled.WindowCycles,
+			FastForwardCycles: spec.Sampled.FastForwardCycles,
+			WarmupCycles:      spec.Sampled.WarmupCycles,
+			Seed:              spec.Sampled.Seed,
+		}.WithDefaults()
+		// Sampled.Key (the RNG stream key) is the spec's own content
+		// hash; RunTelemetry fills it after validation — Config cannot,
+		// because Canonical calls Config and Hash calls Canonical.
+	}
 	if spec.MaxCycles > 0 {
 		cfg.MaxTicks = spec.MaxCycles
 	}
@@ -361,6 +448,12 @@ func RunTelemetry(spec RunSpec) (res Results, tel *Telemetry, err error) {
 	}
 	if spec.Seed != 0 {
 		p.Seed = spec.Seed
+	}
+	if cfg.Engine == gpu.EngineSampled {
+		// Deterministic sampling: the per-window RNG streams key off the
+		// spec's content hash, so identical sampled specs are
+		// byte-identical to each other on any worker.
+		cfg.Sampled.Key = spec.Hash()
 	}
 	sys, err = gpu.NewSystem(cfg, b.Build(p))
 	if err != nil {

@@ -46,6 +46,11 @@ type InvariantViolation = guard.InvariantViolation
 // of retrying forever.
 type QuarantineError = guard.QuarantineError
 
+// AccuracyError reports a sampled run outside its configured error
+// bounds against the exact event-engine reference (see CompareSampled):
+// the offending metric, both values and the allowed deviation.
+type AccuracyError = guard.AccuracyError
+
 // Faults configures fault injection for chaos testing (RunSpec.Chaos).
 type Faults = chaos.Faults
 

@@ -121,6 +121,12 @@ type Config struct {
 	// min(GOMAXPROCS, components). Results never depend on it.
 	Shards int
 
+	// Sampled configures EngineSampled's interval sampling. Unlike
+	// Engine/Shards these parameters DO change Results (they select
+	// which regions run detailed vs modeled), so the façade includes
+	// them in the content hash.
+	Sampled SampledConfig
+
 	// CmdLog, when non-nil, receives one line per issued DRAM command
 	// ("tick chN TYPE bank row") for debugging and external analysis.
 	CmdLog io.Writer
@@ -142,10 +148,70 @@ const (
 	// goroutines within each visited tick, byte-identical to the serial
 	// engines.
 	EngineParallel = "parallel"
+	// EngineSampled is the interval-sampling engine: short full-fidelity
+	// measurement windows on the event-driven core alternate with
+	// fast-forward regions advanced by statistical models calibrated
+	// from the preceding window. Results are approximate — validated
+	// distributionally against the event engine, never byte-identical
+	// (see DESIGN.md "Sampled engine").
+	EngineSampled = "sampled"
 )
 
 // Engines lists the selectable engine names.
-func Engines() []string { return []string{EngineEvent, EngineDense, EngineParallel} }
+func Engines() []string {
+	return []string{EngineEvent, EngineDense, EngineParallel, EngineSampled}
+}
+
+// SampledConfig parameterizes the interval-sampling engine. All cycle
+// counts are in ticks; zero fields take the Default*Cycles values.
+type SampledConfig struct {
+	// WindowCycles is the length of each full-fidelity measurement
+	// window the statistical models are calibrated from.
+	WindowCycles int64
+	// FastForwardCycles is the length of each modeled region between
+	// windows: warp progress advances at the calibrated issue rates and
+	// the skipped memory traffic is injected statistically.
+	FastForwardCycles int64
+	// WarmupCycles is the detailed prefix run after each fast-forward
+	// before the next measurement window, re-converging cache, row
+	// buffer and queue state; it is excluded from calibration.
+	WarmupCycles int64
+	// Seed perturbs the per-window RNG streams; same (Key, Seed) means
+	// byte-identical sampled runs on any worker.
+	Seed int64
+	// Key is the RNG stream key — the façade sets it to the spec's
+	// content hash so sampled runs are reproducible per spec.
+	Key string
+}
+
+// Default interval-sampling parameters: an 8:1 modeled-to-detailed
+// ratio with windows long enough to complete thousands of warp-groups
+// per calibration at Table II scale, and warm-ups long enough (with
+// the settle prefix and the jump's phase-jitter re-seeding) to
+// re-converge warp-phase dispersion — the slow mode behind the
+// divergence-gap distribution. Shorter windows censor the gap tail;
+// shorter warm-ups bias every percentile low. Raise
+// FastForwardCycles for more speed on long runs; the accuracy/speed
+// trade is measured in EXPERIMENTS.md.
+const (
+	DefaultWindowCycles      = 8000
+	DefaultFastForwardCycles = 64000
+	DefaultWarmupCycles      = 8000
+)
+
+// WithDefaults fills zero fields with the Default*Cycles values.
+func (p SampledConfig) WithDefaults() SampledConfig {
+	if p.WindowCycles == 0 {
+		p.WindowCycles = DefaultWindowCycles
+	}
+	if p.FastForwardCycles == 0 {
+		p.FastForwardCycles = DefaultFastForwardCycles
+	}
+	if p.WarmupCycles == 0 {
+		p.WarmupCycles = DefaultWarmupCycles
+	}
+	return p
+}
 
 // Schedulers lists the supported policy names in evaluation order: the
 // simple baselines, the throughput-optimized GMC, the comparators from
@@ -330,8 +396,26 @@ func (c Config) Validate() error {
 		if c.DenseLoop {
 			v.Addf("DenseLoop", c.DenseLoop, "conflicts with Engine=parallel")
 		}
+	case EngineSampled:
+		if c.CmdLog != nil {
+			// A sampled command log would have holes spanning every
+			// modeled region; reject instead of emitting a partial log.
+			v.Addf("CmdLog", "non-nil", "command logging requires an exact engine (fast-forward regions issue no commands)")
+		}
+		if c.DenseLoop {
+			v.Addf("DenseLoop", c.DenseLoop, "conflicts with Engine=sampled")
+		}
+		if c.Sampled.WindowCycles < 0 {
+			v.Addf("Sampled.WindowCycles", c.Sampled.WindowCycles, "must be non-negative (0 = default)")
+		}
+		if c.Sampled.FastForwardCycles < 0 {
+			v.Addf("Sampled.FastForwardCycles", c.Sampled.FastForwardCycles, "must be non-negative (0 = default)")
+		}
+		if c.Sampled.WarmupCycles < 0 {
+			v.Addf("Sampled.WarmupCycles", c.Sampled.WarmupCycles, "must be non-negative (0 = default)")
+		}
 	default:
-		v.Addf("Engine", c.Engine, "unknown engine (want event, dense or parallel)")
+		v.Addf("Engine", c.Engine, "unknown engine (want event, dense, parallel or sampled)")
 	}
 	if c.Shards < 0 {
 		v.Addf("Shards", c.Shards, "must be non-negative")

@@ -60,6 +60,30 @@ type Results struct {
 	GroupsSelected           int64
 	MERBFillers              int64
 	UnitRush                 int64
+
+	// Approximate marks results produced by the sampled engine: every
+	// aggregate above is a statistical estimate, valid within the error
+	// bars in Sampling, never byte-comparable to an exact engine's
+	// output. Exact engines leave it false and Sampling nil.
+	Approximate bool `json:",omitempty"`
+	Sampling    *SamplingStats
+}
+
+// SamplingStats is the sampled engine's self-report: how much of the
+// run was simulated in full detail vs advanced by the statistical
+// model, and 95% confidence half-widths for the headline metrics
+// derived from window-to-window variation. A run short enough to fit
+// in one window reports zero half-widths (no variance to estimate) —
+// and also ran essentially exactly.
+type SamplingStats struct {
+	Windows       int   // completed measurement windows
+	DetailedTicks int64 // cycles simulated in full fidelity (windows + drains + warm-ups)
+	ModeledTicks  int64 // cycles advanced by the statistical model
+	// 95% CI half-widths (same units as the point estimates).
+	IPCErr    float64
+	GapP50Err float64
+	GapP90Err float64
+	GapP99Err float64
 }
 
 // System is one assembled GPU simulation.
@@ -301,6 +325,8 @@ func (s *System) Run() (Results, error) {
 	switch {
 	case s.Cfg.Engine == EngineParallel:
 		return s.runParallel()
+	case s.Cfg.Engine == EngineSampled:
+		return s.runSampled()
 	case s.Cfg.DenseLoop || s.Cfg.Engine == EngineDense:
 		return s.runDense()
 	default:

@@ -45,6 +45,23 @@ type Faults struct {
 	// simulation reaches this cycle (0 disables), exercising the
 	// façade's panic recovery end to end.
 	PanicAtCycle int64
+
+	// SampleDrift multiplies the sampled engine's calibrated models —
+	// per-SM issue rates and synthesized divergence gaps — by this
+	// factor during every fast-forward region (0 disables, 1 is a
+	// no-op). A factor well away from 1 forces the sampled run outside
+	// its error bounds so the distributional validator's AccuracyError
+	// path can be exercised deterministically.
+	SampleDrift float64
+}
+
+// DriftFactor returns the sampled-model bias to apply, 1 when no drift
+// fault is armed.
+func (f *Faults) DriftFactor() float64 {
+	if f == nil || f.SampleDrift == 0 {
+		return 1
+	}
+	return f.SampleDrift
 }
 
 // Asleep reports whether the wakeup fault holds component (kind, idx)

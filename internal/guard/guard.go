@@ -13,6 +13,7 @@ package guard
 
 import (
 	"fmt"
+	"math"
 	"runtime/debug"
 	"strings"
 )
@@ -133,6 +134,26 @@ func (e *QuarantineError) Error() string {
 	}
 	return fmt.Sprintf("dramlat: spec %.12s quarantined: %d lease(s) expired without a result",
 		e.SpecHash, e.Attempts)
+}
+
+// AccuracyError reports that a sampled (statistically fast-forwarded)
+// run landed outside its configured error bounds against the exact
+// event-engine reference. Metric names the offending aggregate ("ipc",
+// "gap_p50", "gap_p90", "gap_p99"), Bound the allowed absolute
+// deviation the check derived from the relative/absolute bound pair.
+// Unlike ValidationError this is not a spec problem: the spec ran to
+// completion, but its statistical model did not hold for this workload
+// at these window parameters.
+type AccuracyError struct {
+	Metric  string  // which aggregate drifted
+	Sampled float64 // the sampled engine's estimate
+	Exact   float64 // the event engine's reference value
+	Bound   float64 // allowed absolute deviation
+}
+
+func (e *AccuracyError) Error() string {
+	return fmt.Sprintf("dramlat: sampled run outside error bounds: %s = %.4g vs exact %.4g (|Δ| %.4g > allowed %.4g)",
+		e.Metric, e.Sampled, e.Exact, math.Abs(e.Sampled-e.Exact), e.Bound)
 }
 
 // Stall kinds recorded in StallError.Kind.

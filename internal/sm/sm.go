@@ -155,6 +155,10 @@ type SM struct {
 
 	greedy int
 	active int
+	// frozen gates the issue stage for the sampled engine's drain
+	// phase (see SetFrozen in fastforward.go): responses and replay
+	// still drain, nothing new issues.
+	frozen bool
 	// issuedLast records whether the last Tick issued an instruction: an
 	// O(1) "probably busy next tick too" signal that lets NextWakeup skip
 	// the warp scan on active streaks (spuriously early at streak end,
@@ -374,6 +378,14 @@ func (s *SM) Tick(now int64, resp *memreq.Request) {
 // SM is quiescent until external input. Call it right after Tick(now):
 // it reads the nextReady bound that Tick's warp scan left behind.
 func (s *SM) NextWakeup(now int64) int64 {
+	if s.frozen {
+		// Drain phase: tick every cycle until quiescent (the replay
+		// queue retries and responses may land any tick), then sleep.
+		if s.Quiescent() {
+			return never
+		}
+		return now + 1
+	}
 	if s.ReplayLen() > 0 || s.issuedLast {
 		return now + 1
 	}
@@ -484,6 +496,16 @@ func (s *SM) dropOrCredit(r *memreq.Request) {
 
 // issue picks a warp greedy-then-oldest and issues its next instruction.
 func (s *SM) issue(now int64) {
+	if s.frozen {
+		s.issuedLast = false
+		if s.active > 0 {
+			s.IdleTicks++
+			if s.cfg.ClassifyStalls {
+				s.classifyStall()
+			}
+		}
+		return
+	}
 	wi := s.pickWarp(now)
 	s.issuedLast = wi >= 0
 	if wi < 0 {

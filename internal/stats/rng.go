@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Stream is the sampled engine's deterministic pseudo-random source.
+// Each fast-forward region draws from its own stream seeded from
+// (key, seed, window index), where key is the spec's content hash —
+// so two executions of the same sampled spec are byte-identical to
+// each other regardless of which worker runs them, how many workers a
+// sweep uses, or what ran before them in the process. The generator
+// is splitmix64: tiny state, full 64-bit period per seed, and no
+// dependence on math/rand's process-global ordering.
+type Stream struct {
+	x uint64
+}
+
+// NewStream derives the stream for fast-forward window idx of the run
+// identified by (key, seed). The sha256 pre-hash means structurally
+// similar (key, seed, idx) triples still land in unrelated state.
+func NewStream(key string, seed int64, idx int) *Stream {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(idx))
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write(buf[:])
+	sum := h.Sum(nil)
+	return &Stream{x: binary.LittleEndian.Uint64(sum[:8])}
+}
+
+// Uint64 returns the next 64 pseudo-random bits (splitmix64 step).
+func (s *Stream) Uint64() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}

@@ -209,6 +209,42 @@ func (c *Collector) OnResp(id memreq.GroupID, now int64) {
 // Done returns the finalized group records.
 func (c *Collector) Done() []*GroupRec { return c.done }
 
+// Mark returns the current length of the done slice, for DoneSince.
+func (c *Collector) Mark() int { return len(c.done) }
+
+// DoneSince returns the groups finalized after an earlier Mark — the
+// sampled engine's per-window calibration sample.
+func (c *Collector) DoneSince(mark int) []*GroupRec {
+	if mark < 0 || mark > len(c.done) {
+		return nil
+	}
+	return c.done[mark:]
+}
+
+// AddSynthetic appends a copy of g to the done records. The sampled
+// engine uses it to stand in for the warp-loads a fast-forward region
+// skipped: whole records resampled from the preceding measurement
+// window, timestamps shifted into the modeled interval, so every
+// downstream consumer (Summarize, Percentile, the façade's gap
+// histogram) sees them exactly like detailed groups.
+func (c *Collector) AddSynthetic(g GroupRec) {
+	g.Completed = true
+	rec := g
+	c.done = append(c.done, &rec)
+}
+
+// AddModeled bulk-adds the coalescer-level counters for loads and
+// stores a fast-forward region skipped, scaled from the preceding
+// window's rates. Only the aggregate counters move; no group records
+// are created (AddSynthetic covers those).
+func (c *Collector) AddModeled(loads, multiReq, lines, stores, storeLines int64) {
+	c.TotalLoads += loads
+	c.MultiReqLoads += multiReq
+	c.TotalLines += lines
+	c.Stores += stores
+	c.StoreLines += storeLines
+}
+
 // Outstanding returns the number of unfinalized groups (should be zero at
 // the end of a drained run).
 func (c *Collector) Outstanding() int { return len(c.groups) }

@@ -24,6 +24,8 @@ var (
 	mSpecSeconds = metrics.Default.HistogramVec("dramlat_sweep_spec_seconds",
 		"Wall-clock execution latency of freshly simulated specs.",
 		nil, "scheduler")
+	mSpecsApproximate = metrics.Default.Counter("dramlat_sweep_specs_approximate_total",
+		"Successful sampled-engine specs (approximate Results with error bars).")
 
 	mCacheHits = metrics.Default.Counter("dramlat_cache_hits_total",
 		"Result-cache lookups served from disk.")
@@ -43,6 +45,8 @@ func observeOutcome(spec dramlat.RunSpec, err error, cached bool, elapsed time.D
 	n := 1 + followers
 	if err != nil {
 		mSpecsFailed.Add(int64(n))
+	} else if spec.IsSampled() {
+		mSpecsApproximate.Add(int64(n))
 	}
 	if cached {
 		mSpecsCached.Add(int64(n))

@@ -15,6 +15,18 @@ import (
 // own Telemetry options (a per-job sweepd request) keeps them; specs
 // without fall back to the engine-level options.
 func (e *Engine) telemetryRunner(spec dramlat.RunSpec) (dramlat.Results, error) {
+	if spec.IsSampled() {
+		// A sampled run's fast-forward regions are modeled, not
+		// simulated: most of the trace simply does not exist, and a
+		// partial artifact indistinguishable from a full one would
+		// poison downstream analysis. Fail the spec with a typed field
+		// error instead (dlsweep/dlserve reject the combination up
+		// front; this guards per-spec telemetry arriving over the wire).
+		return dramlat.Results{}, &dramlat.ValidationError{Fields: []dramlat.FieldError{{
+			Field: "Telemetry", Value: "sampled",
+			Msg: "telemetry capture is not available for sampled runs: fast-forward regions are modeled and have no events to record",
+		}}}
+	}
 	if !spec.Telemetry.Enabled() {
 		spec.Telemetry = e.Telemetry
 	}

@@ -36,6 +36,7 @@ const dashboardHTML = `<!doctype html>
   .state-running { color: #4c8dd6; } .state-done { color: #3a9b57; }
   .state-canceled, .state-resumable { color: #c98a2b; }
   .ok { color: #3a9b57; } .cached { color: #4c8dd6; } .failed { color: #c94f4f; }
+  .approx { color: #9a6fd0; }
   #err { color: #c94f4f; min-height: 1.2em; }
 </style>
 </head>
@@ -99,6 +100,9 @@ function render() {
     const executed = ev ? ev.executed : j.executed;
     const cached = ev ? ev.cached : j.cached;
     const failed = ev ? ev.failed : j.failed;
+    // Sampled-engine outcomes are approximate: flag them so nobody
+    // reads error-bar numbers as exact event-driven results.
+    const approx = ev ? (ev.approximate || 0) : (j.approximate || 0);
     const pct = total ? Math.round(100 * done / total) : 0;
     return "<tr><td>" + j.id + "</td>" +
       '<td class="state-' + j.state + '">' + j.state + "</td>" +
@@ -107,7 +111,8 @@ function render() {
         done + "/" + total + "</td>" +
       '<td><span class="ok">' + (executed - failed >= 0 ? executed : 0) + "</span> / " +
         '<span class="cached">' + cached + "</span> / " +
-        '<span class="failed">' + failed + "</span></td>" +
+        '<span class="failed">' + failed + "</span>" +
+        (approx ? ' · <span class="approx" title="sampled-engine results with error bars">≈' + approx + "</span>" : "") + "</td>" +
       "<td>" + fmtMS(j.elapsed_ms) + "</td></tr>";
   });
   $("jobs").innerHTML = rows.join("");

@@ -70,13 +70,15 @@ type SubmitRequest struct {
 // sweep.Record row, and the lossless outcome itself. The final line of
 // every stream has no record and a terminal State.
 type StreamEvent struct {
-	Done     int      `json:"done"`
-	Total    int      `json:"total"`
-	Executed int      `json:"executed"`
-	Cached   int      `json:"cached"`
-	Failed   int      `json:"failed"`
-	Index    int      `json:"index,omitempty"` // spec index within the job
-	State    JobState `json:"state,omitempty"` // set on the terminal line
+	Done     int `json:"done"`
+	Total    int `json:"total"`
+	Executed int `json:"executed"`
+	Cached   int `json:"cached"`
+	Failed   int `json:"failed"`
+	// Approximate counts successful sampled-engine outcomes so far.
+	Approximate int      `json:"approximate,omitempty"`
+	Index       int      `json:"index,omitempty"` // spec index within the job
+	State       JobState `json:"state,omitempty"` // set on the terminal line
 
 	Record  *sweep.Record  `json:"record,omitempty"`
 	Outcome *sweep.Outcome `json:"outcome,omitempty"`
@@ -453,7 +455,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if err := emit(StreamEvent{
 				Done: je.Event.Done, Total: je.Event.Total,
 				Executed: je.Event.Executed, Cached: je.Event.Cached,
-				Failed: je.Event.Failed, Index: je.Index,
+				Failed: je.Event.Failed, Approximate: je.Approx,
+				Index:  je.Index,
 				Record: &rec, Outcome: &o,
 			}); err != nil {
 				return
@@ -467,7 +470,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			emit(StreamEvent{
 				Done: st.Done, Total: st.Total, Executed: st.Executed,
-				Cached: st.Cached, Failed: st.Failed, State: st.State,
+				Cached: st.Cached, Failed: st.Failed,
+				Approximate: st.Approximate, State: st.State,
 			})
 			return
 		}

@@ -1,0 +1,85 @@
+package sweepd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dramlat"
+	"dramlat/internal/sweep"
+)
+
+// sampledSpecN is specN with a hash-included Sampled block, selecting
+// the approximate interval-sampling engine.
+func sampledSpecN(seed int64) dramlat.RunSpec {
+	sp := specN(seed)
+	sp.Sampled = dramlat.SampledOptions{
+		WindowCycles: 500, FastForwardCycles: 2000, WarmupCycles: 250,
+	}
+	return sp
+}
+
+// A job asking for telemetry capture must reject sampled specs with a
+// typed field error: their fast-forward regions are modeled, so there
+// is no event trace to capture, and a partial artifact would be
+// indistinguishable from a complete one.
+func TestSubmitRejectsSampledTelemetry(t *testing.T) {
+	run := newStubRunner()
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(&sweep.Engine{Workers: 1, Cache: cache, Runner: run.run,
+		TelemetryDir: t.TempDir()}, nil)
+	t.Cleanup(s.Close)
+
+	_, err = s.SubmitJob([]dramlat.RunSpec{specN(1), sampledSpecN(2)}, JobOptions{
+		Telemetry: dramlat.TelemetryOptions{Events: true},
+	})
+	var verr *dramlat.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("sampled spec + telemetry: err = %v, want *ValidationError", err)
+	}
+	if !strings.Contains(err.Error(), "sampled") {
+		t.Fatalf("rejection does not name the sampled engine: %v", err)
+	}
+
+	// The same specs without telemetry are a perfectly good job.
+	st, err := s.SubmitJob([]dramlat.RunSpec{specN(1), sampledSpecN(2)}, JobOptions{})
+	if err != nil {
+		t.Fatalf("sampled spec without telemetry rejected: %v", err)
+	}
+	waitJob(t, s, st.ID)
+}
+
+// Approximate outcomes are counted per job and surfaced in JobStatus
+// and the progress stream, so a dashboard can flag jobs whose numbers
+// carry error bars.
+func TestSampledJobCountsApproximate(t *testing.T) {
+	run := &stubRunner{runs: map[string]int{}, failFor: map[string]error{}}
+	runner := func(sp dramlat.RunSpec) (dramlat.Results, error) {
+		res, err := run.run(sp)
+		if sp.IsSampled() {
+			res.Approximate = true
+		}
+		return res, err
+	}
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(&sweep.Engine{Workers: 2, Cache: cache, Runner: runner}, nil)
+	t.Cleanup(s.Close)
+
+	st, err := s.SubmitJob([]dramlat.RunSpec{specN(1), sampledSpecN(1), sampledSpecN(2)}, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.Failed != 0 {
+		t.Fatalf("failures: %+v", fin)
+	}
+	if fin.Approximate != 2 {
+		t.Fatalf("JobStatus.Approximate = %d, want 2 (status %+v)", fin.Approximate, fin)
+	}
+}

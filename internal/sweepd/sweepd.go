@@ -125,16 +125,19 @@ var buildIdentity = sync.OnceValue(func() (bi [3]string) {
 
 // JobStatus is the externally visible state of one job.
 type JobStatus struct {
-	ID        string    `json:"id"`
-	State     JobState  `json:"state"`
-	Priority  int       `json:"priority,omitempty"`
-	Total     int       `json:"total"`
-	Done      int       `json:"done"`
-	Executed  int       `json:"executed"`
-	Cached    int       `json:"cached"`
-	Failed    int       `json:"failed"`
-	Submitted time.Time `json:"submitted"`
-	ElapsedMS int64     `json:"elapsed_ms"`
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Priority int      `json:"priority,omitempty"`
+	Total    int      `json:"total"`
+	Done     int      `json:"done"`
+	Executed int      `json:"executed"`
+	Cached   int      `json:"cached"`
+	Failed   int      `json:"failed"`
+	// Approximate counts successful sampled-engine outcomes: their
+	// Results carry error bars rather than exact event-driven numbers.
+	Approximate int       `json:"approximate,omitempty"`
+	Submitted   time.Time `json:"submitted"`
+	ElapsedMS   int64     `json:"elapsed_ms"`
 }
 
 // task is one unique spec hash wanted by one or more (job, index)
@@ -200,8 +203,9 @@ func (h *taskHeap) Pop() any {
 // jobEvent is one completed spec in a job's event log: everything a
 // progress stream needs, kept so late subscribers replay from the start.
 type jobEvent struct {
-	Index int
-	Event sweep.Event
+	Index  int
+	Event  sweep.Event
+	Approx int // job-level approximate (sampled) count as of this event
 }
 
 type job struct {
@@ -215,6 +219,7 @@ type job struct {
 	executed  int
 	cached    int
 	failed    int
+	approx    int // successful sampled-engine outcomes (approximate Results)
 	events    []jobEvent
 	submitted time.Time
 	finished  time.Time
@@ -229,8 +234,9 @@ func (j *job) status() JobStatus {
 		ID: j.id, State: j.state, Priority: j.priority,
 		Total: len(j.specs), Done: j.done,
 		Executed: j.executed, Cached: j.cached, Failed: j.failed,
-		Submitted: j.submitted,
-		ElapsedMS: end.Sub(j.submitted).Milliseconds(),
+		Approximate: j.approx,
+		Submitted:   j.submitted,
+		ElapsedMS:   end.Sub(j.submitted).Milliseconds(),
 	}
 }
 
@@ -408,6 +414,17 @@ func (s *Server) SubmitJob(specs []dramlat.RunSpec, opts JobOptions) (JobStatus,
 		if s.Workers() == 0 {
 			return JobStatus{}, ErrTelemetryRemote
 		}
+		// Sampled specs have no full trace to capture — the fast-forward
+		// regions are modeled. Reject the combination up front with a
+		// typed field error rather than queueing specs doomed to fail.
+		for i, sp := range specs {
+			if sp.IsSampled() {
+				return JobStatus{}, &dramlat.ValidationError{Fields: []dramlat.FieldError{{
+					Field: "Telemetry", Value: fmt.Sprintf("specs[%d]", i),
+					Msg: "telemetry capture is not available for sampled runs: fast-forward regions are modeled and have no events to record",
+				}}}
+			}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -577,7 +594,10 @@ func (s *Server) deliver(j *job, idx int, o sweep.Outcome, follower bool) {
 	} else if !follower {
 		j.executed++
 	}
-	j.events = append(j.events, jobEvent{Index: idx, Event: sweep.Event{
+	if o.Err == nil && o.Results.Approximate {
+		j.approx++
+	}
+	j.events = append(j.events, jobEvent{Index: idx, Approx: j.approx, Event: sweep.Event{
 		Done: j.done, Total: len(j.specs),
 		Executed: j.executed, Cached: j.cached, Failed: j.failed,
 		Outcome: o,

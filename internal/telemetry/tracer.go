@@ -49,6 +49,11 @@ const (
 	// machine engaged / released (A = write-queue occupancy).
 	EvDrainBegin
 	EvDrainEnd
+	// EvWindow: a sampled-engine phase boundary (A = phase code: 0
+	// measure, 1 drain, 2 fast-forward, 3 warm-up; B = region index).
+	// Lets dlprof show which trace regions were modeled statistically —
+	// no other events exist inside a fast-forward region.
+	EvWindow
 
 	kindCount
 )
@@ -69,6 +74,7 @@ var kindNames = [kindCount]string{
 	EvMERBEnd:     "merb_end",
 	EvDrainBegin:  "drain_begin",
 	EvDrainEnd:    "drain_end",
+	EvWindow:      "window",
 }
 
 // String implements fmt.Stringer.
@@ -327,5 +333,21 @@ func (t *Tracer) DrainBegin(now int64, ch, occupancy int) {
 func (t *Tracer) DrainEnd(now int64, ch, occupancy int) {
 	e := none()
 	e.Tick, e.Kind, e.Channel, e.A = now, EvDrainEnd, int16(ch), int64(occupancy)
+	t.add(e)
+}
+
+// Sampled-engine phase codes carried in EvWindow's A field.
+const (
+	WindowMeasure     = 0 // full-fidelity measurement window begins
+	WindowDrain       = 1 // SMs frozen, memory system draining
+	WindowFastForward = 2 // statistical fast-forward region begins
+	WindowWarmup      = 3 // detailed warm-up before the next window
+)
+
+// Window records a sampled-engine phase boundary: phase is a Window*
+// code, region the zero-based sampling-region index.
+func (t *Tracer) Window(now int64, phase int, region int) {
+	e := none()
+	e.Tick, e.Kind, e.A, e.B = now, EvWindow, int64(phase), int64(region)
 	t.add(e)
 }

@@ -1,0 +1,40 @@
+package dramlat
+
+import (
+	"dramlat/internal/gpu"
+	"dramlat/internal/stats"
+)
+
+// The sampled engine's correctness contract is distributional, not
+// byte-identical: a sampled run's IPC and divergence-gap percentiles
+// must land within configured bounds of the event engine's exact
+// values. CompareSampled is that validator; the CI accuracy gate runs
+// it across every scheduler (see TestSampledAccuracyGate).
+
+// Bound is one metric's allowed deviation: the larger of Rel×|exact|
+// and the absolute floor Abs (re-exported from internal/stats).
+type Bound = stats.Bound
+
+// Bounds is the per-metric tolerance set for CompareSampled.
+type Bounds = stats.Bounds
+
+// DefaultBounds returns the tolerances the CI accuracy gate enforces.
+func DefaultBounds() Bounds { return stats.DefaultBounds() }
+
+// SamplingStats re-exports the sampled engine's coverage/error-bar
+// report attached to approximate Results.
+type SamplingStats = gpu.SamplingStats
+
+// CompareSampled validates an approximate (sampled-engine) result
+// against an exact reference from the same spec: IPC and the p50/p90/
+// p99 divergence-gap percentiles must each fall within bounds. The
+// worst violation is returned as a *AccuracyError; nil means the
+// sampled run is within its error contract.
+func CompareSampled(sampled, exact Results, b Bounds) error {
+	return stats.Check([]stats.MetricPair{
+		{Name: "ipc", Sampled: sampled.IPC, Exact: exact.IPC, Bound: b.IPC},
+		{Name: "gap_p50", Sampled: sampled.GapP50, Exact: exact.GapP50, Bound: b.GapP50},
+		{Name: "gap_p90", Sampled: sampled.GapP90, Exact: exact.GapP90, Bound: b.GapP90},
+		{Name: "gap_p99", Sampled: sampled.GapP99, Exact: exact.GapP99, Bound: b.GapP99},
+	})
+}

@@ -1,0 +1,187 @@
+// Command bench10 measures the sampled engine (PR 10) and emits
+// BENCH_10.json: for bfs/spmv/cfd it times the exact event engine and
+// the interval-sampling engine on the same spec, reports
+// simulated-ticks-per-second for both, the sampled/event throughput
+// ratio, and the sampled run's accuracy against the exact reference
+// (IPC and divergence-gap percentile deviations, checked against
+// dramlat.DefaultBounds). A final low-occupancy row runs spmv at a
+// larger scale with a long fast-forward, where the modeled fraction —
+// and with it the speedup — is highest.
+//
+// All timings are single-threaded measurements of simulation
+// throughput; host_cores records the machine so a reader knows what
+// the wall clocks mean. Workload construction is excluded from every
+// timing; each engine is timed over -reps runs and the minimum wall
+// time is reported.
+//
+// Usage:
+//
+//	go run ./scripts/bench10 [-o BENCH_10.json] [-reps 2] [-sched gmc]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dramlat"
+)
+
+// Cell is one benchmark's exact-vs-sampled comparison.
+type Cell struct {
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+
+	// Sampled-engine window parameters (cycles).
+	WindowCycles      int64 `json:"window_cycles"`
+	FastForwardCycles int64 `json:"fast_forward_cycles"`
+	WarmupCycles      int64 `json:"warmup_cycles"`
+
+	// Throughput: simulated kernel ticks per wall-clock second.
+	EventTicks     int64   `json:"event_ticks"`
+	EventWallNS    int64   `json:"event_wall_ns"`
+	EventTicksPS   float64 `json:"event_ticks_per_sec"`
+	SampledTicks   int64   `json:"sampled_ticks"`
+	SampledWallNS  int64   `json:"sampled_wall_ns"`
+	SampledTicksPS float64 `json:"sampled_ticks_per_sec"`
+	SpeedupX       float64 `json:"speedup_vs_event"`
+
+	// Coverage: how much of the sampled run was full fidelity.
+	Windows       int   `json:"windows"`
+	DetailedTicks int64 `json:"detailed_ticks"`
+	ModeledTicks  int64 `json:"modeled_ticks"`
+
+	// Accuracy against the exact reference.
+	IPCExact     float64 `json:"ipc_exact"`
+	IPCSampled   float64 `json:"ipc_sampled"`
+	GapP50Exact  float64 `json:"gap_p50_exact"`
+	GapP50Samp   float64 `json:"gap_p50_sampled"`
+	GapP90Exact  float64 `json:"gap_p90_exact"`
+	GapP90Samp   float64 `json:"gap_p90_sampled"`
+	GapP99Exact  float64 `json:"gap_p99_exact"`
+	GapP99Samp   float64 `json:"gap_p99_sampled"`
+	WithinBounds bool    `json:"within_bounds"`
+	Violation    string  `json:"violation,omitempty"`
+}
+
+// Report wraps the matrix with the host context needed to interpret it.
+type Report struct {
+	// HostCores caveats every wall-clock number: both engines are timed
+	// single-threaded, but a loaded or throttled host still skews the
+	// absolute ticks-per-second (the speedup ratio is robust to that).
+	HostCores int    `json:"host_cores"`
+	Reps      int    `json:"reps"`
+	Scheduler string `json:"scheduler"`
+	Cells     []Cell `json:"cells"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench10:", err)
+	os.Exit(1)
+}
+
+// timeRun times reps executions of spec and returns the results of the
+// last run with the minimum wall time.
+func timeRun(spec dramlat.RunSpec, reps int) (dramlat.Results, time.Duration) {
+	var best time.Duration
+	var res dramlat.Results
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		r, err := dramlat.Run(spec)
+		wall := time.Since(start)
+		if err != nil {
+			fail(err)
+		}
+		if best == 0 || wall < best {
+			best, res = wall, r
+		}
+	}
+	return res, best
+}
+
+func main() {
+	out := flag.String("o", "BENCH_10.json", "output file (\"-\" = stdout)")
+	reps := flag.Int("reps", 2, "timed repetitions per cell (minimum wall time wins)")
+	sched := flag.String("sched", "gmc", "memory scheduler for every cell")
+	flag.Parse()
+
+	type config struct {
+		bench string
+		scale float64
+		opts  dramlat.SampledOptions
+	}
+	defaults := dramlat.DefaultSampled()
+	configs := []config{
+		{"bfs", 1, defaults},
+		{"spmv", 1, defaults},
+		{"cfd", 1, defaults},
+		// The low-occupancy showcase: a longer kernel amortizes the
+		// settle prefix, and a long fast-forward pushes the modeled
+		// fraction — and with it the speedup — past 10x.
+		{"spmv", 4, dramlat.SampledOptions{
+			WindowCycles:      defaults.WindowCycles,
+			FastForwardCycles: 256_000,
+			WarmupCycles:      defaults.WarmupCycles,
+		}},
+	}
+
+	rep := Report{HostCores: runtime.NumCPU(), Reps: *reps, Scheduler: *sched}
+	for _, c := range configs {
+		spec := dramlat.RunSpec{Benchmark: c.bench, Scheduler: *sched, Scale: c.scale}
+		exact, exactWall := timeRun(spec, *reps)
+
+		sspec := spec
+		sspec.Sampled = c.opts
+		sampled, sampledWall := timeRun(sspec, *reps)
+		if !sampled.Approximate || sampled.Sampling == nil {
+			fail(fmt.Errorf("%s: sampled run reported no sampling stats", c.bench))
+		}
+
+		cell := Cell{
+			Benchmark: c.bench, Scale: c.scale,
+			WindowCycles:      c.opts.WindowCycles,
+			FastForwardCycles: c.opts.FastForwardCycles,
+			WarmupCycles:      c.opts.WarmupCycles,
+			EventTicks:        exact.Ticks,
+			EventWallNS:       exactWall.Nanoseconds(),
+			EventTicksPS:      float64(exact.Ticks) / exactWall.Seconds(),
+			SampledTicks:      sampled.Ticks,
+			SampledWallNS:     sampledWall.Nanoseconds(),
+			SampledTicksPS:    float64(sampled.Ticks) / sampledWall.Seconds(),
+			Windows:           sampled.Sampling.Windows,
+			DetailedTicks:     sampled.Sampling.DetailedTicks,
+			ModeledTicks:      sampled.Sampling.ModeledTicks,
+			IPCExact:          exact.IPC, IPCSampled: sampled.IPC,
+			GapP50Exact: exact.GapP50, GapP50Samp: sampled.GapP50,
+			GapP90Exact: exact.GapP90, GapP90Samp: sampled.GapP90,
+			GapP99Exact: exact.GapP99, GapP99Samp: sampled.GapP99,
+		}
+		cell.SpeedupX = cell.SampledTicksPS / cell.EventTicksPS
+		if err := dramlat.CompareSampled(sampled, exact, dramlat.DefaultBounds()); err != nil {
+			cell.Violation = err.Error()
+		} else {
+			cell.WithinBounds = true
+		}
+		fmt.Fprintf(os.Stderr, "  %s scale %g: %.1fx (event %.0f t/s, sampled %.0f t/s, within bounds: %v)\n",
+			c.bench, c.scale, cell.SpeedupX, cell.EventTicksPS, cell.SampledTicksPS, cell.WithinBounds)
+		rep.Cells = append(rep.Cells, cell)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+}
